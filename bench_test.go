@@ -1,0 +1,343 @@
+// Package rsin_test holds the benchmark harness that regenerates every
+// table and figure of the paper's evaluation (go test -bench=. -benchmem),
+// plus the ablation benches called out in DESIGN.md. Each BenchmarkFigN
+// reports the figure's key series values as custom benchmark metrics so
+// a run doubles as a regression record of the reproduced numbers.
+package rsin_test
+
+import (
+	"fmt"
+	"testing"
+
+	"rsin/internal/config"
+	"rsin/internal/crossbar"
+	"rsin/internal/experiments"
+	"rsin/internal/markov"
+	"rsin/internal/omega"
+	"rsin/internal/queueing"
+	"rsin/internal/sim"
+	"rsin/internal/workload"
+)
+
+// benchGrid is the ρ grid used by the benchmark harness: small enough
+// to keep -bench runs quick, wide enough to span the paper's range.
+func benchGrid() []float64 { return []float64{0.2, 0.5, 0.8} }
+
+func benchQuality() experiments.Quality {
+	return experiments.Quality{Samples: 50000, Warmup: 1000, Seed: 1}
+}
+
+// BenchmarkFig4 regenerates Fig. 4 (SBUS delays, μs/μn = 0.1, exact
+// Markov analysis).
+func BenchmarkFig4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.Fig4(benchGrid())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(fig.FindSeries("16/16x1x1 SBUS/2").At(0.5), "d·μs(SBUS/2,ρ=.5)")
+			b.ReportMetric(fig.FindSeries("16/8x2x1 SBUS/4").At(0.5), "d·μs(8-part,ρ=.5)")
+		}
+	}
+}
+
+// BenchmarkFig5 regenerates Fig. 5 (SBUS delays, μs/μn = 1.0).
+func BenchmarkFig5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.Fig5(benchGrid())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(fig.FindSeries("16/16x1x1 SBUS/2").At(0.5), "d·μs(SBUS/2,ρ=.5)")
+		}
+	}
+}
+
+// BenchmarkFig7 regenerates Fig. 7 (XBAR delays, μs/μn = 0.1,
+// simulation).
+func BenchmarkFig7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig := experiments.Fig7(benchGrid(), benchQuality())
+		if i == 0 {
+			b.ReportMetric(fig.FindSeries("16/1x16x32 XBAR/1").At(0.5), "d·μs(XBAR/1,ρ=.5)")
+		}
+	}
+}
+
+// BenchmarkFig8 regenerates Fig. 8 (XBAR delays, μs/μn = 1.0).
+func BenchmarkFig8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig := experiments.Fig8(benchGrid(), benchQuality())
+		if i == 0 {
+			b.ReportMetric(fig.FindSeries("16/1x16x32 XBAR/1").At(0.5), "d·μs(XBAR/1,ρ=.5)")
+		}
+	}
+}
+
+// BenchmarkFig12 regenerates Fig. 12 (Omega delays, μs/μn = 0.1).
+func BenchmarkFig12(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig := experiments.Fig12(benchGrid(), benchQuality())
+		if i == 0 {
+			b.ReportMetric(fig.FindSeries("16/1x16x16 OMEGA/2").At(0.5), "d·μs(16x16,ρ=.5)")
+			b.ReportMetric(fig.FindSeries("16/8x2x2 OMEGA/2").At(0.5), "d·μs(8x2x2,ρ=.5)")
+		}
+	}
+}
+
+// BenchmarkFig13 regenerates Fig. 13 (Omega delays, μs/μn = 1.0).
+func BenchmarkFig13(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig := experiments.Fig13(benchGrid(), benchQuality())
+		if i == 0 {
+			b.ReportMetric(fig.FindSeries("16/1x16x16 OMEGA/2").At(0.5), "d·μs(16x16,ρ=.5)")
+		}
+	}
+}
+
+// BenchmarkBlocking regenerates the Section V blocking-probability
+// comparison (paper: ≈0.15 RSIN vs ≈0.3 address-mapped on 8×8).
+func BenchmarkBlocking(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Blocking(8, 20000, 0.5, 0.5, 7)
+		if i == 0 {
+			b.ReportMetric(r.RSINBlocked, "P(block,RSIN)")
+			b.ReportMetric(r.AddressBlocked, "P(block,addr)")
+			b.ReportMetric(r.RSINBoxesPerGrant, "boxes/grant")
+		}
+	}
+}
+
+// BenchmarkCompare regenerates the Section VI cross-network comparison.
+func BenchmarkCompare(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig := experiments.FigCompare(0.1, []float64{0.9}, benchQuality())
+		if i == 0 {
+			b.ReportMetric(fig.Series[0].At(0.9), "d·μs(SBUS/3,ρ=.9)")
+			b.ReportMetric(fig.FindSeries("16/4x4x4 OMEGA/2").At(0.9), "d·μs(OMEGA,ρ=.9)")
+		}
+	}
+}
+
+// BenchmarkTable2 regenerates Table II (trivial, kept for completeness
+// of the per-artifact index).
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if rows := experiments.TableII(); len(rows) != 5 {
+			b.Fatal("table II incomplete")
+		}
+	}
+}
+
+// --- Ablation benches (DESIGN.md §5) ---
+
+// BenchmarkOmegaReroutePolicy compares in-network rerouting against
+// reject-to-source on the 16×16 Omega network at moderate load.
+func BenchmarkOmegaReroutePolicy(b *testing.B) {
+	run := func(b *testing.B, noReroute bool) {
+		lambda := queueing.LambdaForIntensity(0.6, 16, 1, 0.1, 32)
+		for i := 0; i < b.N; i++ {
+			net := config.MustParse("16/1x16x16 OMEGA/2").MustBuild(config.BuildOptions{NoReroute: noReroute})
+			res, err := sim.Run(net, sim.Config{
+				Lambda: lambda, MuN: 1, MuS: 0.1, Seed: 1, Warmup: 1000, Samples: 50000,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				b.ReportMetric(res.NormalizedDelay.Mean, "d·μs")
+				b.ReportMetric(float64(res.Telemetry.Rejects)/float64(res.Telemetry.Grants), "rejects/grant")
+			}
+		}
+	}
+	b.Run("reroute", func(b *testing.B) { run(b, false) })
+	b.Run("no-reroute", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkWakeupPolicy compares the retry orderings after a release:
+// the paper's asymmetric index order, round-robin, and the POLYP-style
+// random order.
+func BenchmarkWakeupPolicy(b *testing.B) {
+	lambda := queueing.LambdaForIntensity(0.7, 16, 1, 0.1, 32)
+	for _, pol := range []sim.WakePolicy{sim.WakeIndexOrder, sim.WakeRoundRobin, sim.WakeRandom} {
+		b.Run(pol.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				net := crossbar.New(16, 16, 2)
+				res, err := sim.Run(net, sim.Config{
+					Lambda: lambda, MuN: 1, MuS: 0.1,
+					Seed: 1, Warmup: 1000, Samples: 50000, WakePolicy: pol,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(res.NormalizedDelay.Mean, "d·μs")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStatusStaleness compares live status propagation (assumption
+// (c)) against frozen phase-1 status on batched requests: the
+// stale-status batch routing triggers the paper's reject/reroute
+// mechanism.
+func BenchmarkStatusStaleness(b *testing.B) {
+	pids := []int{0, 3, 4, 5}
+	b.Run("live", func(b *testing.B) {
+		rejects := int64(0)
+		for i := 0; i < b.N; i++ {
+			o := omega.New(8, 1)
+			for j := 2; j < 6; j++ {
+				o.SetResourceAvailability(j, 0)
+			}
+			for _, pid := range pids {
+				o.Acquire(pid)
+			}
+			rejects += o.Telemetry().Rejects
+		}
+		b.ReportMetric(float64(rejects)/float64(b.N), "rejects/batch")
+	})
+	b.Run("stale", func(b *testing.B) {
+		rejects := int64(0)
+		for i := 0; i < b.N; i++ {
+			o := omega.New(8, 1)
+			for j := 2; j < 6; j++ {
+				o.SetResourceAvailability(j, 0)
+			}
+			o.AcquireBatch(pids)
+			rejects += o.Telemetry().Rejects
+		}
+		b.ReportMetric(float64(rejects)/float64(b.N), "rejects/batch")
+	})
+}
+
+// BenchmarkRetryJitter measures the paper's random-retry-delay
+// suggestion (Section V): de-synchronizing the simultaneous retries
+// caused by clocked status broadcasts, at the cost of extra queueing.
+func BenchmarkRetryJitter(b *testing.B) {
+	lambda := queueing.LambdaForIntensity(0.6, 16, 1, 0.1, 32)
+	for _, jitter := range []float64{0, 0.1, 0.5} {
+		b.Run(fmt.Sprintf("jitter=%g", jitter), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				net := config.MustParse("16/1x16x16 OMEGA/2").MustBuild(config.BuildOptions{})
+				res, err := sim.Run(net, sim.Config{
+					Lambda: lambda, MuN: 1, MuS: 0.1,
+					Seed: 1, Warmup: 1000, Samples: 50000, RetryJitter: jitter,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(res.NormalizedDelay.Mean, "d·μs")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkWiringComparison compares the Omega and indirect-binary-
+// n-cube wirings under identical load: isomorphic delta networks should
+// perform identically for uniform traffic.
+func BenchmarkWiringComparison(b *testing.B) {
+	lambda := queueing.LambdaForIntensity(0.7, 16, 1, 0.1, 32)
+	for _, s := range []string{"16/1x16x16 OMEGA/2", "16/1x16x16 CUBE/2"} {
+		b.Run(s, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				net := config.MustParse(s).MustBuild(config.BuildOptions{})
+				res, err := sim.Run(net, sim.Config{
+					Lambda: lambda, MuN: 1, MuS: 0.1,
+					Seed: 1, Warmup: 1000, Samples: 50000,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(res.NormalizedDelay.Mean, "d·μs")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMarkovSolverComparison compares the three SBUS chain solvers
+// on the canonical private-bus chain (the cross-check of Section III).
+func BenchmarkMarkovSolverComparison(b *testing.B) {
+	p := markov.Params{P: 16, Lambda: 0.05, MuN: 1, MuS: 0.1, R: 32}
+	b.Run("matrix-geometric", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := markov.SolveMatrixGeometric(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("block-tridiagonal", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := markov.SolveTruncated(p, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("paper-stages", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := markov.SolveStages(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkCellWave measures the gate-level request-cycle evaluation of
+// the full 16×32 cell array (the structural model behind Table I).
+func BenchmarkCellWave(b *testing.B) {
+	a := crossbar.NewCellArray(16, 32)
+	req := make([]bool, 16)
+	ctl := make([]bool, 32)
+	for i := range req {
+		req[i] = true
+	}
+	for j := range ctl {
+		ctl[j] = true
+	}
+	reset := make([]bool, 16)
+	for i := range reset {
+		reset[i] = true
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.RequestCycle(req, ctl)
+		a.ResetCycle(reset)
+	}
+}
+
+// BenchmarkEngineThroughput measures raw simulator event throughput on
+// the three network classes.
+func BenchmarkEngineThroughput(b *testing.B) {
+	lambda := queueing.LambdaForIntensity(0.5, 16, 1, 0.1, 32)
+	for _, s := range []string{"16/16x1x1 SBUS/2", "16/1x16x16 XBAR/2", "16/1x16x16 OMEGA/2"} {
+		b.Run(s, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				net := config.MustParse(s).MustBuild(config.BuildOptions{})
+				if _, err := sim.Run(net, sim.Config{
+					Lambda: lambda, MuN: 1, MuS: 0.1, Seed: 1, Warmup: 100, Samples: 20000,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSweepMachinery exercises the ρ→λ sweep conversion used by
+// every figure.
+func BenchmarkSweepMachinery(b *testing.B) {
+	rhos := workload.PaperRhoGrid()
+	for i := 0; i < b.N; i++ {
+		pts := workload.Sweep(16, 1, 0.1, 32, rhos)
+		if len(pts) != len(rhos) {
+			b.Fatal("sweep lost points")
+		}
+	}
+}

@@ -1,0 +1,48 @@
+// Command advisor answers the paper's design question (Table II): given
+// the relative cost of the interconnection network versus the resources
+// and the μs/μn ratio of the application, which RSIN class should be
+// used?
+//
+// Usage:
+//
+//	advisor                          # print the whole of Table II
+//	advisor -cost cheap -ratio 0.2   # one recommendation
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rsin/internal/experiments"
+)
+
+func main() {
+	var (
+		cost  = flag.String("cost", "", "network cost relative to resources: cheap, comparable, dear")
+		ratio = flag.Float64("ratio", 1, "μs/μn ratio of the application")
+	)
+	flag.Parse()
+
+	if *cost == "" {
+		if err := experiments.RenderTableII(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "advisor:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	var rel experiments.CostRelation
+	switch *cost {
+	case "cheap":
+		rel = experiments.NetMuchCheaper
+	case "comparable":
+		rel = experiments.NetComparable
+	case "dear":
+		rel = experiments.NetMuchDearer
+	default:
+		fmt.Fprintf(os.Stderr, "advisor: unknown -cost %q (want cheap, comparable, dear)\n", *cost)
+		os.Exit(1)
+	}
+	r := experiments.Advise(rel, *ratio)
+	fmt.Printf("%s, μs/μn = %g (%s regime):\n  use a %s\n", r.Relation, *ratio, r.Ratio, r.Network)
+}

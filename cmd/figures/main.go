@@ -1,0 +1,124 @@
+// Command figures regenerates the paper's evaluation artifacts:
+// Figs. 4, 5 (single shared bus, exact Markov analysis), Figs. 7, 8
+// (multiple shared buses, simulation), Fig. 11 (the two-phase routing
+// walkthrough), Figs. 12, 13 (Omega networks, simulation), Table I
+// (gate-level cell truth table), Table II (network selection), the
+// Section V blocking-probability comparison, the Section VI
+// cross-network comparison, a μs/μn ratio sweep, and the quantitative
+// cost-performance frontier behind Table II.
+//
+// Usage:
+//
+//	figures -fig all               # everything, full quality
+//	figures -fig 4                 # one artifact
+//	figures -fig 12 -quick         # fast, noisier confidence intervals
+//	figures -fig 7 -format csv     # machine-readable series
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rsin/internal/cost"
+	"rsin/internal/experiments"
+	"rsin/internal/workload"
+)
+
+func main() {
+	var (
+		which  = flag.String("fig", "all", "which artifact: 4, 5, 7, 8, 11, 12, 13, blocking, compare, table1, table2, ratio, frontier, all")
+		quick  = flag.Bool("quick", false, "use the fast preset (noisier confidence intervals)")
+		format = flag.String("format", "text", "output format for figure tables: text or csv")
+	)
+	flag.Parse()
+
+	q := experiments.Full()
+	if *quick {
+		q = experiments.Quick()
+	}
+	rhos := workload.PaperRhoGrid()
+	render := func(fig experiments.Figure) error {
+		if *format == "csv" {
+			return fig.RenderCSV(os.Stdout)
+		}
+		return fig.Render(os.Stdout)
+	}
+
+	run := func(name string) error {
+		switch name {
+		case "4":
+			fig, err := experiments.Fig4(rhos)
+			if err != nil {
+				return err
+			}
+			return render(fig)
+		case "5":
+			fig, err := experiments.Fig5(rhos)
+			if err != nil {
+				return err
+			}
+			return render(fig)
+		case "7":
+			return render(experiments.Fig7(rhos, q))
+		case "8":
+			return render(experiments.Fig8(rhos, q))
+		case "12":
+			return render(experiments.Fig12(rhos, q))
+		case "13":
+			return render(experiments.Fig13(rhos, q))
+		case "blocking":
+			trials := 200000
+			if *quick {
+				trials = 5000
+			}
+			return render(experiments.FigBlocking(8, trials, q.Seed))
+		case "compare":
+			return render(experiments.FigCompare(0.1, rhos, q))
+		case "11":
+			return experiments.RenderFig11(os.Stdout)
+		case "table1":
+			return experiments.RenderTableI(os.Stdout)
+		case "table2":
+			return experiments.RenderTableII(os.Stdout)
+		case "ratio":
+			return render(experiments.FigRatioSweep(0.7, experiments.PaperRatioGrid(), q))
+		case "frontier":
+			for _, fc := range []struct {
+				title   string
+				resCost float64
+				budget  float64
+				ratio   float64
+				rho     float64
+				tol     float64
+			}{
+				{"resources dear, μs/μn=0.1 (Table II row 1)", 50, 2000, 0.1, 0.6, 0.10},
+				{"resources dear, μs/μn=10, heavy load (Table II row 2)", 50, 2000, 10, 0.9, 0.05},
+				{"comparable costs, μs/μn=0.1 (Table II row 3)", 8, 600, 0.1, 0.6, 0.10},
+				{"network dear / resources cheap (Table II row 5)", 0.5, 150, 1, 0.6, 0.10},
+			} {
+				entries, err := experiments.Frontier(cost.DefaultModel(fc.resCost), fc.budget, fc.ratio, fc.rho, q)
+				if err != nil {
+					return err
+				}
+				if err := experiments.RenderFrontier(os.Stdout, fc.title, entries, fc.tol); err != nil {
+					return err
+				}
+			}
+			return nil
+		default:
+			return fmt.Errorf("unknown figure %q", name)
+		}
+	}
+
+	names := []string{*which}
+	if *which == "all" {
+		names = []string{"4", "5", "7", "8", "11", "12", "13", "blocking", "compare", "table1", "table2", "ratio", "frontier"}
+	}
+	for _, n := range names {
+		if err := run(n); err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+// Command rsinsim simulates a single RSIN configuration at one
+// operating point and prints the measured queueing delay, utilization,
+// and blockage telemetry.
+//
+// Usage:
+//
+//	rsinsim -config "16/1x16x16 OMEGA/2" -ratio 0.1 -rho 0.5
+//	rsinsim -config "16/16x1x1 SBUS/2" -ratio 0.1 -rho 0.5 -analytic
+//
+// The operating point can be given either as the paper's traffic
+// intensity (-rho, relative to the 16-processor/32-resource reference
+// system) or directly as a per-processor arrival rate (-lambda).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rsin/internal/config"
+	"rsin/internal/markov"
+	"rsin/internal/queueing"
+	"rsin/internal/sim"
+)
+
+func main() {
+	var (
+		cfgStr   = flag.String("config", "16/1x16x16 OMEGA/2", "system configuration in p/ixjxk NET/r notation")
+		ratio    = flag.Float64("ratio", 0.1, "μs/μn ratio (transmission rate μn is fixed at 1)")
+		rho      = flag.Float64("rho", 0.5, "traffic intensity of the 16/32 reference system")
+		lambda   = flag.Float64("lambda", 0, "per-processor arrival rate (overrides -rho if > 0)")
+		samples  = flag.Int("samples", 200000, "post-warmup delay samples")
+		warmup   = flag.Float64("warmup", 2000, "warmup period (simulated time)")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+		analytic = flag.Bool("analytic", false, "use the exact Markov analysis (SBUS configurations only)")
+	)
+	flag.Parse()
+
+	cfg, err := config.Parse(*cfgStr)
+	if err != nil {
+		fatal(err)
+	}
+	muN := 1.0
+	muS := *ratio * muN
+	lam := *lambda
+	if lam <= 0 {
+		lam = queueing.LambdaForIntensity(*rho, 16, muN, muS, 32)
+	}
+	effRho := queueing.TrafficIntensity(cfg.Processors, lam, muN, muS, cfg.TotalResources())
+	fmt.Printf("configuration: %s  (%d processors, %d ports, %d resources)\n",
+		cfg, cfg.Processors, cfg.Networks*cfg.Outputs, cfg.TotalResources())
+	fmt.Printf("rates: λ=%.6g per processor, μn=%g, μs=%g (μs/μn=%g)\n", lam, muN, muS, *ratio)
+	fmt.Printf("traffic intensity: %.4g (own-system), %.4g (16/32 reference)\n",
+		effRho, queueing.TrafficIntensity(16, lam, muN, muS, 32))
+
+	if *analytic {
+		if cfg.Type != config.SBUS {
+			fatal(fmt.Errorf("-analytic supports SBUS configurations only (got %s)", cfg.Type))
+		}
+		res, err := markov.SolveMatrixGeometric(markov.Params{
+			P: cfg.Inputs, Lambda: lam, MuN: muN, MuS: muS, R: cfg.PerPort,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("analytic delay d        : %.6g\n", res.Delay)
+		fmt.Printf("normalized delay d·μs   : %.6g\n", res.NormalizedDelay)
+		fmt.Printf("bus utilization         : %.4g\n", res.BusUtilization)
+		fmt.Printf("resource utilization    : %.4g\n", res.ResourceUtil)
+		fmt.Printf("P(all resources busy)   : %.4g\n", res.PAllBusy)
+		return
+	}
+
+	net := cfg.MustBuild(config.BuildOptions{Seed: *seed})
+	res, err := sim.Run(net, sim.Config{
+		Lambda: lam, MuN: muN, MuS: muS,
+		Seed: *seed, Warmup: *warmup, Samples: *samples,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("simulated delay d       : %s\n", res.Delay)
+	fmt.Printf("normalized delay d·μs   : %s\n", res.NormalizedDelay)
+	fmt.Printf("mean queue length       : %.4g\n", res.MeanQueue)
+	fmt.Printf("port utilization        : %.4g\n", res.Utilization)
+	fmt.Printf("tasks completed         : %d over %.4g time units\n", res.Completed, res.SimTime)
+	tel := res.Telemetry
+	if tel.Attempts > 0 {
+		fmt.Printf("allocation attempts     : %d (%.2f%% blocked: %d resource, %d path)\n",
+			tel.Attempts, 100*float64(tel.Failures)/float64(tel.Attempts),
+			tel.ResourceBlock, tel.PathBlock)
+	}
+	if tel.Grants > 0 && tel.BoxVisits > 0 {
+		fmt.Printf("interchange box visits  : %.3f per grant (%d rejects)\n",
+			float64(tel.BoxVisits)/float64(tel.Grants), tel.Rejects)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rsinsim:", err)
+	os.Exit(1)
+}

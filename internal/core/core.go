@@ -1,0 +1,192 @@
+// Package core defines the resource-sharing interconnection network
+// (RSIN) abstraction that is the paper's central contribution: a network
+// between processors and a pool of identical resources in which a
+// request carries no destination address — the network itself locates a
+// free resource and establishes a circuit-switched connection to it.
+//
+// A Network implementation encapsulates one distributed scheduling
+// discipline (single shared bus, crossbar of shared buses, Omega network
+// with status propagation, …). The discrete-event engine in
+// internal/sim drives any Network through the paper's workload model;
+// the Partitioned combinator composes independent sub-networks into the
+// paper's i×j×k configurations.
+package core
+
+import "fmt"
+
+// Grant records one successful resource allocation: the circuit-switched
+// connection from a processor to an output port, plus the reserved
+// resource behind that port. The processor holds the network path for
+// the duration of the task transmission and the resource for the
+// duration of service; the two are released independently
+// (paper Section II: the connection is broken after transmission while
+// the resource continues processing).
+type Grant struct {
+	Processor int // requesting processor (global index)
+	Port      int // output port the request was routed to (global index)
+	Path      any // network-private path bookkeeping; owned by the issuing Network
+}
+
+// Network is a resource-sharing interconnection network supporting
+// distributed scheduling of single-resource requests on one resource
+// type (the system class the paper analyzes).
+//
+// Implementations are not safe for concurrent use; the discrete-event
+// engine is single-threaded, mirroring the paper's global-time Markov
+// and simulation models.
+type Network interface {
+	// Acquire attempts to connect processor pid to any free resource
+	// reachable through the network. On success it reserves the
+	// resource, holds the path, and returns the grant. It fails when
+	// every reachable resource is busy or every path is blocked —
+	// the two blockage sources the paper distinguishes.
+	Acquire(pid int) (Grant, bool)
+
+	// ReleasePath tears down the network path of g after task
+	// transmission completes. The reserved resource transitions from
+	// "reserved for transmission" to "serving".
+	ReleasePath(g Grant)
+
+	// ReleaseResource frees g's resource after service completes.
+	ReleaseResource(g Grant)
+
+	// Processors returns the number of processor (input) connections.
+	Processors() int
+
+	// Ports returns the number of output ports.
+	Ports() int
+
+	// TotalResources returns the number of resources behind all ports.
+	TotalResources() int
+
+	// Name returns a short human-readable description of the network.
+	Name() string
+}
+
+// Telemetry holds optional counters a Network may expose for the
+// experiments: blockage accounting and routing effort.
+type Telemetry struct {
+	Attempts      int64 // Acquire calls
+	Failures      int64 // Acquire calls returning false
+	ResourceBlock int64 // failures with every reachable resource busy
+	PathBlock     int64 // failures caused by network-path blockage only
+	Rejects       int64 // in-network rejects (Omega backtracks)
+	BoxVisits     int64 // interchange boxes traversed by granted requests
+	Grants        int64 // successful Acquires
+}
+
+// TelemetrySource is implemented by networks that collect Telemetry.
+type TelemetrySource interface {
+	Telemetry() Telemetry
+}
+
+// Partitioned composes i independent sub-networks into one system, the
+// paper's p/i×j×k notation: processors are assigned to sub-networks in
+// contiguous blocks of j = p/i, and each sub-network owns its own output
+// ports and resources. Requests never cross partitions — exactly the
+// isolation that makes the paper's per-bus analysis of partitioned
+// systems exact.
+type Partitioned struct {
+	subs     []Network
+	perSub   int // processors per sub-network
+	ports    int
+	resTotal int
+	name     string
+}
+
+// NewPartitioned builds a partitioned system from identical
+// sub-networks. All sub-networks must have the same processor count.
+func NewPartitioned(subs []Network) *Partitioned {
+	if len(subs) == 0 {
+		panic("core: NewPartitioned requires at least one sub-network")
+	}
+	per := subs[0].Processors()
+	ports, res := 0, 0
+	for _, s := range subs {
+		if s.Processors() != per {
+			panic("core: sub-networks must have identical processor counts")
+		}
+		ports += s.Ports()
+		res += s.TotalResources()
+	}
+	return &Partitioned{
+		subs:     subs,
+		perSub:   per,
+		ports:    ports,
+		resTotal: res,
+		name:     fmt.Sprintf("%dx(%s)", len(subs), subs[0].Name()),
+	}
+}
+
+// partGrant wraps a sub-network grant with its partition index.
+type partGrant struct {
+	sub   int
+	inner Grant
+}
+
+// Acquire implements Network by delegating to pid's partition.
+func (p *Partitioned) Acquire(pid int) (Grant, bool) {
+	sub := pid / p.perSub
+	if sub < 0 || sub >= len(p.subs) {
+		panic(fmt.Sprintf("core: processor %d outside partitioned system", pid))
+	}
+	g, ok := p.subs[sub].Acquire(pid % p.perSub)
+	if !ok {
+		return Grant{}, false
+	}
+	portBase, resBase := 0, 0
+	for i := 0; i < sub; i++ {
+		portBase += p.subs[i].Ports()
+		resBase += p.subs[i].TotalResources()
+	}
+	return Grant{
+		Processor: pid,
+		Port:      portBase + g.Port,
+		Path:      partGrant{sub: sub, inner: g},
+	}, true
+}
+
+// ReleasePath implements Network.
+func (p *Partitioned) ReleasePath(g Grant) {
+	pg := g.Path.(partGrant)
+	p.subs[pg.sub].ReleasePath(pg.inner)
+}
+
+// ReleaseResource implements Network.
+func (p *Partitioned) ReleaseResource(g Grant) {
+	pg := g.Path.(partGrant)
+	p.subs[pg.sub].ReleaseResource(pg.inner)
+}
+
+// Processors implements Network.
+func (p *Partitioned) Processors() int { return p.perSub * len(p.subs) }
+
+// Ports implements Network.
+func (p *Partitioned) Ports() int { return p.ports }
+
+// TotalResources implements Network.
+func (p *Partitioned) TotalResources() int { return p.resTotal }
+
+// Name implements Network.
+func (p *Partitioned) Name() string { return p.name }
+
+// Telemetry aggregates telemetry across partitions that expose it.
+func (p *Partitioned) Telemetry() Telemetry {
+	var t Telemetry
+	for _, s := range p.subs {
+		if ts, ok := s.(TelemetrySource); ok {
+			st := ts.Telemetry()
+			t.Attempts += st.Attempts
+			t.Failures += st.Failures
+			t.ResourceBlock += st.ResourceBlock
+			t.PathBlock += st.PathBlock
+			t.Rejects += st.Rejects
+			t.BoxVisits += st.BoxVisits
+			t.Grants += st.Grants
+		}
+	}
+	return t
+}
+
+var _ Network = (*Partitioned)(nil)
+var _ TelemetrySource = (*Partitioned)(nil)

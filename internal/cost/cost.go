@@ -1,0 +1,116 @@
+// Package cost models the hardware-cost side of the paper's Section VI
+// tradeoff: "the tradeoffs have to be made with respect to the relative
+// cost of resources and networks and the ratio μs/μn."
+//
+// Network costs follow the paper's complexity discussion: a p×m
+// crossbar needs p·m crosspoint cells (the O(N²) the paper cites); an
+// N×N multistage network needs (N/2)·log₂N interchange boxes, each a
+// 2×2 crossbar plus peripheral control (the O(N·log₂N) the paper
+// credits against the crossbar); a shared bus needs one tap per
+// attached unit. Resource cost is per unit. The absolute scale is
+// arbitrary — only the ratios matter, exactly as in Table II.
+package cost
+
+import (
+	"fmt"
+
+	"rsin/internal/config"
+)
+
+// Model prices the hardware of a configuration.
+type Model struct {
+	Crosspoint float64 // one crossbar cell (11 gates + latch)
+	BoxFactor  float64 // one 2×2 interchange box, in crosspoint units
+	BusTap     float64 // one bus attachment, in crosspoint units
+	Resource   float64 // one resource unit
+}
+
+// DefaultModel uses the paper's qualitative relations: an interchange
+// box is a 2×2 crossbar with added control (≈ 4 crosspoints plus
+// overhead), and a bus tap is far cheaper than a crosspoint.
+func DefaultModel(resourceCost float64) Model {
+	return Model{
+		Crosspoint: 1,
+		BoxFactor:  6, // 4 crosspoints + status/reject control
+		BusTap:     0.25,
+		Resource:   resourceCost,
+	}
+}
+
+// NetworkCost returns the interconnect cost of one configuration (all
+// its i sub-networks).
+func (m Model) NetworkCost(c config.Config) (float64, error) {
+	if err := c.Validate(); err != nil {
+		return 0, err
+	}
+	var per float64
+	switch c.Type {
+	case config.SBUS:
+		// One bus with j processor taps and one resource-port tap.
+		per = m.BusTap * float64(c.Inputs+1)
+	case config.XBAR:
+		per = m.Crosspoint * float64(c.Inputs*c.Outputs)
+	case config.OMEGA, config.CUBE:
+		n := c.Inputs
+		stages := 0
+		for 1<<stages < n {
+			stages++
+		}
+		per = m.Crosspoint * m.BoxFactor * float64(n/2*stages)
+	default:
+		return 0, fmt.Errorf("cost: unknown network type %v", c.Type)
+	}
+	return per * float64(c.Networks), nil
+}
+
+// ResourceCost returns the cost of the configuration's resources.
+func (m Model) ResourceCost(c config.Config) float64 {
+	return m.Resource * float64(c.TotalResources())
+}
+
+// TotalCost returns network + resource cost.
+func (m Model) TotalCost(c config.Config) (float64, error) {
+	nc, err := m.NetworkCost(c)
+	if err != nil {
+		return 0, err
+	}
+	return nc + m.ResourceCost(c), nil
+}
+
+// Regime classifies the configuration's cost balance the way Table II's
+// left column does: the ratio of network cost to resource cost.
+type Regime int
+
+// The Table II regimes.
+const (
+	NetworkMuchCheaper Regime = iota // COSTnet << COSTres
+	Comparable                       // COSTnet ≈ COSTres
+	NetworkMuchDearer                // COSTnet >> COSTres
+)
+
+// String renders the regime as the paper writes it.
+func (r Regime) String() string {
+	switch r {
+	case NetworkMuchCheaper:
+		return "COSTnet << COSTres"
+	case Comparable:
+		return "COSTnet ~= COSTres"
+	case NetworkMuchDearer:
+		return "COSTnet >> COSTres"
+	default:
+		return fmt.Sprintf("Regime(%d)", int(r))
+	}
+}
+
+// Classify maps a network/resource cost ratio to its Table II regime,
+// using a factor-of-4 band around parity.
+func Classify(networkCost, resourceCost float64) Regime {
+	switch ratio := networkCost / resourceCost; {
+	case ratio < 0.25:
+		return NetworkMuchCheaper
+	case ratio > 4:
+		return NetworkMuchDearer
+	default:
+		return Comparable
+	}
+}

@@ -1,0 +1,105 @@
+package cost
+
+import (
+	"testing"
+
+	"rsin/internal/config"
+)
+
+func TestNetworkCostComplexities(t *testing.T) {
+	m := DefaultModel(1)
+	xbar16, err := m.NetworkCost(config.MustParse("16/1x16x16 XBAR/2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xbar16 != 256 {
+		t.Errorf("16x16 crossbar = %g crosspoints, want 256", xbar16)
+	}
+	omega16, err := m.NetworkCost(config.MustParse("16/1x16x16 OMEGA/2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (16/2)·log₂16 = 32 boxes × 6 = 192 < 256: the paper's
+	// O(N·log N) vs O(N²) advantage appears already at N=16.
+	if omega16 >= xbar16 {
+		t.Errorf("omega (%g) should be cheaper than crossbar (%g) at N=16", omega16, xbar16)
+	}
+	cube16, err := m.NetworkCost(config.MustParse("16/1x16x16 CUBE/2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cube16 != omega16 {
+		t.Errorf("cube (%g) and omega (%g) have identical box counts", cube16, omega16)
+	}
+	bus, err := m.NetworkCost(config.MustParse("16/16x1x1 SBUS/2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bus >= omega16 {
+		t.Errorf("16 private buses (%g) should be far cheaper than a multistage network (%g)", bus, omega16)
+	}
+}
+
+func TestCostScaling(t *testing.T) {
+	m := DefaultModel(1)
+	// The crossbar's quadratic growth must overtake the multistage
+	// network's N·log N as N grows.
+	ratioAt := func(n int) float64 {
+		x, err1 := m.NetworkCost(config.Config{
+			Processors: n, Networks: 1, Inputs: n, Outputs: n, Type: config.XBAR, PerPort: 1,
+		})
+		o, err2 := m.NetworkCost(config.Config{
+			Processors: n, Networks: 1, Inputs: n, Outputs: n, Type: config.OMEGA, PerPort: 1,
+		})
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		return x / o
+	}
+	if !(ratioAt(64) > ratioAt(16)) {
+		t.Error("crossbar/multistage cost ratio should grow with N")
+	}
+}
+
+func TestResourceAndTotalCost(t *testing.T) {
+	m := DefaultModel(3)
+	c := config.MustParse("16/16x1x1 SBUS/2")
+	if got := m.ResourceCost(c); got != 96 {
+		t.Errorf("resource cost = %g, want 96 (32 × 3)", got)
+	}
+	total, err := m.TotalCost(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nc, _ := m.NetworkCost(c)
+	if total != nc+96 {
+		t.Errorf("total = %g, want %g", total, nc+96)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	if Classify(1, 100) != NetworkMuchCheaper {
+		t.Error("1:100 should be network-much-cheaper")
+	}
+	if Classify(100, 1) != NetworkMuchDearer {
+		t.Error("100:1 should be network-much-dearer")
+	}
+	if Classify(3, 2) != Comparable {
+		t.Error("3:2 should be comparable")
+	}
+}
+
+func TestRegimeStrings(t *testing.T) {
+	for _, r := range []Regime{NetworkMuchCheaper, Comparable, NetworkMuchDearer, Regime(9)} {
+		if r.String() == "" {
+			t.Errorf("empty string for regime %d", r)
+		}
+	}
+}
+
+func TestInvalidConfig(t *testing.T) {
+	m := DefaultModel(1)
+	if _, err := m.NetworkCost(config.Config{}); err == nil {
+		t.Error("invalid config accepted")
+	}
+}

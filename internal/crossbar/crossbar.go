@@ -1,0 +1,175 @@
+// Package crossbar implements the multiple-shared-bus RSIN of paper
+// Section IV: a p×m crossbar switch whose every output port is a shared
+// bus carrying r resources.
+//
+// The performance model here captures the allocation semantics of the
+// paper's distributed cell array (Fig. 6 / Table I): a request from
+// processor i sweeps across the cells of row i and latches onto the
+// first column j whose resource controller asserts "bus j free and ≥1
+// resource available". The crossbar itself is non-blocking — any idle
+// processor can reach any free bus — so the only blockage sources are
+// busy buses and busy resources. The gate-level structural model of the
+// cell, with the truth table and timing claims, lives in sibling file
+// cells.go.
+package crossbar
+
+import (
+	"fmt"
+
+	"rsin/internal/core"
+)
+
+// PortPolicy selects which eligible output port a request latches onto.
+type PortPolicy int
+
+const (
+	// FirstFree takes the lowest-index eligible port, matching the
+	// asymmetric wavefront of the paper's cell design.
+	FirstFree PortPolicy = iota
+	// LeastLoaded takes the eligible port with the most free resources,
+	// a smarter controller used as an ablation.
+	LeastLoaded
+)
+
+// String returns the policy name.
+func (p PortPolicy) String() string {
+	switch p {
+	case FirstFree:
+		return "first-free"
+	case LeastLoaded:
+		return "least-loaded"
+	default:
+		return fmt.Sprintf("PortPolicy(%d)", int(p))
+	}
+}
+
+// Crossbar is a p×m crossbar with r resources on each output bus.
+type Crossbar struct {
+	processors int
+	ports      int
+	perPort    int
+	policy     PortPolicy
+
+	busBusy []bool
+	free    []int
+	tel     core.Telemetry
+}
+
+// New returns a crossbar connecting processors to ports output buses
+// with perPort resources each, using the FirstFree policy.
+func New(processors, ports, perPort int) *Crossbar {
+	return NewWithPolicy(processors, ports, perPort, FirstFree)
+}
+
+// NewWithPolicy returns a crossbar with an explicit port-selection
+// policy.
+func NewWithPolicy(processors, ports, perPort int, policy PortPolicy) *Crossbar {
+	if processors <= 0 || ports <= 0 || perPort <= 0 {
+		panic(fmt.Sprintf("crossbar: invalid shape %dx%d r=%d", processors, ports, perPort))
+	}
+	x := &Crossbar{
+		processors: processors,
+		ports:      ports,
+		perPort:    perPort,
+		policy:     policy,
+		busBusy:    make([]bool, ports),
+		free:       make([]int, ports),
+	}
+	for i := range x.free {
+		x.free[i] = perPort
+	}
+	return x
+}
+
+// Acquire implements core.Network: connect pid to an eligible port per
+// the policy, reserving the bus and one resource.
+func (x *Crossbar) Acquire(pid int) (core.Grant, bool) {
+	if pid < 0 || pid >= x.processors {
+		panic(fmt.Sprintf("crossbar: processor %d out of range", pid))
+	}
+	x.tel.Attempts++
+	best := -1
+	anyFreeRes := false
+	for j := 0; j < x.ports; j++ {
+		if x.free[j] > 0 {
+			anyFreeRes = true
+		}
+		if x.busBusy[j] || x.free[j] == 0 {
+			continue
+		}
+		switch x.policy {
+		case FirstFree:
+			best = j
+		case LeastLoaded:
+			if best == -1 || x.free[j] > x.free[best] {
+				best = j
+			}
+		}
+		if x.policy == FirstFree {
+			break
+		}
+	}
+	if best == -1 {
+		x.tel.Failures++
+		if anyFreeRes {
+			// Free resources exist but sit behind busy buses: the
+			// shared output port is the blockage.
+			x.tel.PathBlock++
+		} else {
+			x.tel.ResourceBlock++
+		}
+		return core.Grant{}, false
+	}
+	x.busBusy[best] = true
+	x.free[best]--
+	x.tel.Grants++
+	return core.Grant{Processor: pid, Port: best}, true
+}
+
+// ReleasePath implements core.Network.
+func (x *Crossbar) ReleasePath(g core.Grant) {
+	if !x.busBusy[g.Port] {
+		panic("crossbar: ReleasePath with idle bus")
+	}
+	x.busBusy[g.Port] = false
+}
+
+// ReleaseResource implements core.Network.
+func (x *Crossbar) ReleaseResource(g core.Grant) {
+	if x.free[g.Port] >= x.perPort {
+		panic("crossbar: ReleaseResource overflow")
+	}
+	x.free[g.Port]++
+}
+
+// Processors implements core.Network.
+func (x *Crossbar) Processors() int { return x.processors }
+
+// Ports implements core.Network.
+func (x *Crossbar) Ports() int { return x.ports }
+
+// TotalResources implements core.Network.
+func (x *Crossbar) TotalResources() int { return x.ports * x.perPort }
+
+// Name implements core.Network.
+func (x *Crossbar) Name() string {
+	return fmt.Sprintf("XBAR(p=%d,m=%d,r=%d)", x.processors, x.ports, x.perPort)
+}
+
+// Telemetry implements core.TelemetrySource.
+func (x *Crossbar) Telemetry() core.Telemetry { return x.tel }
+
+// FreePorts returns how many ports are currently eligible (idle bus and
+// ≥1 free resource).
+func (x *Crossbar) FreePorts() int {
+	n := 0
+	for j := 0; j < x.ports; j++ {
+		if !x.busBusy[j] && x.free[j] > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+var _ core.Network = (*Crossbar)(nil)
+var _ core.TelemetrySource = (*Crossbar)(nil)

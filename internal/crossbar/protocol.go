@@ -1,0 +1,260 @@
+package crossbar
+
+import (
+	"fmt"
+
+	"rsin/internal/rng"
+	"rsin/internal/stats"
+)
+
+// This file models the crossbar's control protocol at cycle
+// granularity, driving the gate-level cell array through the paper's
+// alternating request/reset modes. Section IV notes that the
+// single-MODE-line design "degrades performance because requests and
+// resets cannot operate concurrently", and sketches the Heidelberg
+// POLYP alternative: separate request/reset lines per cell plus a
+// circulating token that makes arbitration random. ProtocolSim measures
+// both.
+
+// Protocol selects the crossbar control discipline.
+type Protocol int
+
+const (
+	// ModeAlternating is the paper's single-MODE-line design: request
+	// cycles and reset cycles strictly alternate, so a finished
+	// transmission holds its bus until the next reset cycle.
+	ModeAlternating Protocol = iota
+	// ConcurrentToken is the POLYP-style design: separate request and
+	// reset lines let both happen every cycle, and a circulating token
+	// makes the processor→bus arbitration random.
+	ConcurrentToken
+)
+
+// String returns the protocol name.
+func (p Protocol) String() string {
+	switch p {
+	case ModeAlternating:
+		return "mode-alternating"
+	case ConcurrentToken:
+		return "concurrent-token"
+	default:
+		return fmt.Sprintf("Protocol(%d)", int(p))
+	}
+}
+
+// ProtocolConfig parameterizes a cycle-level protocol simulation.
+type ProtocolConfig struct {
+	Processors int
+	Buses      int
+	PerBus     int // resources per bus
+
+	PArrival float64 // per-processor probability of a new task per cycle
+	MeanTx   float64 // mean transmission length in cycles (geometric)
+	MeanSvc  float64 // mean service length in cycles (geometric)
+
+	Protocol Protocol
+	Seed     uint64
+	Cycles   int // simulated cycles (after warmup)
+	Warmup   int
+}
+
+// ProtocolResult reports the cycle-level measurements.
+type ProtocolResult struct {
+	Delay       stats.CI // queueing delay in cycles (arrival → connection)
+	Grants      []int64  // grants per processor (fairness record)
+	Completed   int64
+	BusyCycles  int64 // cycles × buses spent connected
+	TotalCycles int
+}
+
+// FairnessSpread returns max/min of per-processor grants (1 = perfectly
+// fair; large = asymmetric priority).
+func (r ProtocolResult) FairnessSpread() float64 {
+	min, max := int64(-1), int64(0)
+	for _, g := range r.Grants {
+		if g > max {
+			max = g
+		}
+		if min == -1 || g < min {
+			min = g
+		}
+	}
+	if min <= 0 {
+		return float64(max)
+	}
+	return float64(max) / float64(min)
+}
+
+// RunProtocol simulates the crossbar control protocol cycle by cycle.
+// The ModeAlternating discipline drives the actual gate-level cell
+// array (cells.go); ConcurrentToken uses the equivalent behavioral
+// allocation with random arbitration, since its cell requires the extra
+// control lines the paper describes but does not specify gate by gate.
+func RunProtocol(cfg ProtocolConfig) (ProtocolResult, error) {
+	if cfg.Processors <= 0 || cfg.Buses <= 0 || cfg.PerBus <= 0 {
+		return ProtocolResult{}, fmt.Errorf("crossbar: invalid protocol shape %+v", cfg)
+	}
+	if cfg.PArrival < 0 || cfg.PArrival > 1 || cfg.MeanTx < 1 || cfg.MeanSvc < 1 {
+		return ProtocolResult{}, fmt.Errorf("crossbar: invalid protocol rates %+v", cfg)
+	}
+	if cfg.Cycles <= 0 {
+		cfg.Cycles = 100000
+	}
+	src := rng.New(cfg.Seed)
+	p, m := cfg.Processors, cfg.Buses
+
+	var arr *CellArray
+	if cfg.Protocol == ModeAlternating {
+		arr = NewCellArray(p, m)
+	}
+
+	type conn struct {
+		bus       int
+		remaining int  // transmission cycles left
+		done      bool // finished, waiting for a reset cycle
+	}
+	queues := make([][]int, p) // arrival cycle numbers, FIFO
+	connected := make([]*conn, p)
+	busFree := make([]int, m) // free resources per bus
+	busConn := make([]bool, m)
+	svc := make([][]int, m) // remaining service cycles per busy resource
+	for j := range busFree {
+		busFree[j] = cfg.PerBus
+	}
+	delays := stats.NewBatchMeans(int64(cfg.Cycles/30 + 1))
+	grants := make([]int64, p)
+	var completed, busyCycles int64
+
+	geo := func(mean float64) int {
+		// Geometric with the given mean, minimum 1 cycle.
+		n := 1
+		for src.Float64() > 1/mean {
+			n++
+		}
+		return n
+	}
+
+	total := cfg.Warmup + cfg.Cycles
+	for cycle := 0; cycle < total; cycle++ {
+		warm := cycle >= cfg.Warmup
+		// Arrivals.
+		for i := 0; i < p; i++ {
+			if src.Float64() < cfg.PArrival {
+				queues[i] = append(queues[i], cycle)
+			}
+		}
+		// Service progress.
+		for j := 0; j < m; j++ {
+			keep := svc[j][:0]
+			for _, rem := range svc[j] {
+				if rem > 1 {
+					keep = append(keep, rem-1)
+				} else {
+					busFree[j]++
+					if warm {
+						completed++
+					}
+				}
+			}
+			svc[j] = keep
+		}
+		// Transmission progress.
+		for i := 0; i < p; i++ {
+			c := connected[i]
+			if c == nil || c.done {
+				continue
+			}
+			c.remaining--
+			if c.remaining <= 0 {
+				c.done = true
+			}
+		}
+
+		// Control.
+		requestMode := cfg.Protocol == ConcurrentToken || cycle%2 == 0
+		resetMode := cfg.Protocol == ConcurrentToken || cycle%2 == 1
+
+		if resetMode {
+			resets := make([]bool, p)
+			for i := 0; i < p; i++ {
+				if c := connected[i]; c != nil && c.done {
+					resets[i] = true
+					// The task transfers to a resource and service
+					// begins.
+					svc[c.bus] = append(svc[c.bus], geo(cfg.MeanSvc))
+					busConn[c.bus] = false
+					connected[i] = nil
+				}
+			}
+			if arr != nil {
+				arr.ResetCycle(resets)
+			}
+		}
+		if requestMode {
+			requests := make([]bool, p)
+			for i := 0; i < p; i++ {
+				requests[i] = connected[i] == nil && len(queues[i]) > 0
+			}
+			controllers := make([]bool, m)
+			for j := 0; j < m; j++ {
+				controllers[j] = !busConn[j] && busFree[j] > 0
+			}
+			var granted []int // processor → bus pairs, flattened
+			if arr != nil {
+				res := arr.RequestCycle(requests, controllers)
+				for i, bus := range res.Grants {
+					if bus >= 0 {
+						granted = append(granted, i, bus)
+					}
+				}
+			} else {
+				// Token arbitration: requesting processors in random
+				// order take a random eligible bus.
+				order := src.Perm(p)
+				for _, i := range order {
+					if !requests[i] {
+						continue
+					}
+					var eligible []int
+					for j := 0; j < m; j++ {
+						if controllers[j] {
+							eligible = append(eligible, j)
+						}
+					}
+					if len(eligible) == 0 {
+						break
+					}
+					bus := eligible[src.Intn(len(eligible))]
+					controllers[bus] = false
+					granted = append(granted, i, bus)
+				}
+			}
+			for k := 0; k < len(granted); k += 2 {
+				i, bus := granted[k], granted[k+1]
+				arrived := queues[i][0]
+				queues[i] = queues[i][1:]
+				connected[i] = &conn{bus: bus, remaining: geo(cfg.MeanTx)}
+				busConn[bus] = true
+				busFree[bus]--
+				if warm {
+					delays.Add(float64(cycle - arrived))
+					grants[i]++
+				}
+			}
+		}
+		if warm {
+			for j := 0; j < m; j++ {
+				if busConn[j] {
+					busyCycles++
+				}
+			}
+		}
+	}
+	return ProtocolResult{
+		Delay:       delays.Interval(0.95),
+		Grants:      grants,
+		Completed:   completed,
+		BusyCycles:  busyCycles,
+		TotalCycles: cfg.Cycles,
+	}, nil
+}

@@ -1,0 +1,145 @@
+package crossbar
+
+import (
+	"testing"
+)
+
+func protoCfg(p Protocol, pArr float64) ProtocolConfig {
+	return ProtocolConfig{
+		Processors: 8, Buses: 8, PerBus: 2,
+		PArrival: pArr, MeanTx: 4, MeanSvc: 8,
+		Protocol: p, Seed: 11, Cycles: 60000, Warmup: 2000,
+	}
+}
+
+func TestProtocolValidation(t *testing.T) {
+	bad := protoCfg(ModeAlternating, 0.1)
+	bad.Processors = 0
+	if _, err := RunProtocol(bad); err == nil {
+		t.Error("bad shape accepted")
+	}
+	bad = protoCfg(ModeAlternating, 0.1)
+	bad.MeanTx = 0.5
+	if _, err := RunProtocol(bad); err == nil {
+		t.Error("sub-cycle transmission accepted")
+	}
+	bad = protoCfg(ModeAlternating, 0.1)
+	bad.PArrival = 1.5
+	if _, err := RunProtocol(bad); err == nil {
+		t.Error("probability > 1 accepted")
+	}
+}
+
+// TestModeAlternationDegradesPerformance quantifies the paper's claim:
+// the single-MODE-line protocol (alternating request/reset cycles) has
+// higher delay than the POLYP-style concurrent design, because grants
+// happen only every other cycle and finished transmissions hold their
+// bus until the next reset cycle.
+func TestModeAlternationDegradesPerformance(t *testing.T) {
+	alt, err := RunProtocol(protoCfg(ModeAlternating, 0.08))
+	if err != nil {
+		t.Fatal(err)
+	}
+	conc, err := RunProtocol(protoCfg(ConcurrentToken, 0.08))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alt.Completed == 0 || conc.Completed == 0 {
+		t.Fatal("no completions")
+	}
+	if alt.Delay.Mean <= conc.Delay.Mean {
+		t.Errorf("alternating delay %v should exceed concurrent delay %v",
+			alt.Delay.Mean, conc.Delay.Mean)
+	}
+	t.Logf("delay: alternating %.2f cycles vs concurrent %.2f cycles",
+		alt.Delay.Mean, conc.Delay.Mean)
+}
+
+// TestTokenArbitrationIsFairer verifies the POLYP rationale: under
+// contention, the wavefront design starves high-index processors while
+// the circulating token spreads grants nearly evenly.
+func TestTokenArbitrationIsFairer(t *testing.T) {
+	// Contended: only 2 buses for 8 processors.
+	mk := func(p Protocol) ProtocolConfig {
+		c := protoCfg(p, 0.3)
+		c.Buses = 2
+		c.PerBus = 4
+		return c
+	}
+	alt, err := RunProtocol(mk(ModeAlternating))
+	if err != nil {
+		t.Fatal(err)
+	}
+	conc, err := RunProtocol(mk(ConcurrentToken))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alt.FairnessSpread() <= conc.FairnessSpread() {
+		t.Errorf("wavefront spread %.2f should exceed token spread %.2f",
+			alt.FairnessSpread(), conc.FairnessSpread())
+	}
+	// The wavefront must visibly favor processor 0 over processor 7.
+	if alt.Grants[0] <= alt.Grants[7] {
+		t.Errorf("asymmetric design should favor processor 0: grants %v", alt.Grants)
+	}
+	t.Logf("fairness spread: wavefront %.2f vs token %.2f (grants %v vs %v)",
+		alt.FairnessSpread(), conc.FairnessSpread(), alt.Grants, conc.Grants)
+}
+
+func TestProtocolConservation(t *testing.T) {
+	// Long-run: completions ≈ arrivals accepted; busy cycles sane.
+	res, err := RunProtocol(protoCfg(ModeAlternating, 0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed == 0 {
+		t.Fatal("nothing completed")
+	}
+	maxBusy := int64(res.TotalCycles) * 8
+	if res.BusyCycles < 0 || res.BusyCycles > maxBusy {
+		t.Errorf("busy cycles %d outside [0, %d]", res.BusyCycles, maxBusy)
+	}
+}
+
+func TestProtocolStrings(t *testing.T) {
+	if ModeAlternating.String() != "mode-alternating" || ConcurrentToken.String() != "concurrent-token" {
+		t.Error("protocol strings wrong")
+	}
+	if Protocol(7).String() == "" {
+		t.Error("unknown protocol should format")
+	}
+}
+
+func TestProtocolDeterminism(t *testing.T) {
+	a, err := RunProtocol(protoCfg(ConcurrentToken, 0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunProtocol(protoCfg(ConcurrentToken, 0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Delay.Mean != b.Delay.Mean || a.Completed != b.Completed {
+		t.Error("same seed diverged")
+	}
+}
+
+// BenchmarkProtocols is the ablation bench for the control-protocol
+// choice.
+func BenchmarkProtocols(b *testing.B) {
+	for _, p := range []Protocol{ModeAlternating, ConcurrentToken} {
+		b.Run(p.String(), func(b *testing.B) {
+			cfg := protoCfg(p, 0.08)
+			cfg.Cycles = 20000
+			for i := 0; i < b.N; i++ {
+				res, err := RunProtocol(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(res.Delay.Mean, "delay-cycles")
+				}
+			}
+		})
+	}
+}

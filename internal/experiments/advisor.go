@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// CostRelation orders the cost of the interconnection network against
+// the cost of the resources (Table II's left column).
+type CostRelation int
+
+// The three cost regimes of Table II.
+const (
+	NetMuchCheaper CostRelation = iota // COSTnet << COSTres
+	NetComparable                      // COSTnet ≈ COSTres
+	NetMuchDearer                      // COSTnet >> COSTres
+)
+
+// String renders the relation as the paper writes it.
+func (c CostRelation) String() string {
+	switch c {
+	case NetMuchCheaper:
+		return "COSTnet << COSTres"
+	case NetComparable:
+		return "COSTnet ~= COSTres"
+	case NetMuchDearer:
+		return "COSTnet >> COSTres"
+	default:
+		return fmt.Sprintf("CostRelation(%d)", int(c))
+	}
+}
+
+// Recommendation is one Table II row's guidance.
+type Recommendation struct {
+	Relation CostRelation
+	Ratio    string // the μs/μn regime: "small", "large", or "all"
+	Network  string // the network class to use
+}
+
+// Advise returns the Table II recommendation for a cost relation and
+// μs/μn ratio. The threshold between "small" and "large" follows the
+// paper's discussion: Omega networks are favorable when μs/μn ≲ 1 (the
+// network is lightly stressed relative to the resources), crossbars
+// when the network is the bottleneck.
+func Advise(rel CostRelation, muSOverMuN float64) Recommendation {
+	small := muSOverMuN <= 1
+	switch rel {
+	case NetMuchCheaper:
+		if small {
+			return Recommendation{rel, "small", "single multistage network"}
+		}
+		return Recommendation{rel, "large", "single crossbar network"}
+	case NetComparable:
+		if small {
+			return Recommendation{rel, "small", "large number of small multistage networks and a larger number of resources"}
+		}
+		return Recommendation{rel, "large", "large number of small crossbar networks and a larger number of resources"}
+	case NetMuchDearer:
+		return Recommendation{rel, "all", "private bus with a large number of resources"}
+	default:
+		panic(fmt.Sprintf("experiments: unknown cost relation %d", rel))
+	}
+}
+
+// TableII returns every row of the paper's Table II.
+func TableII() []Recommendation {
+	return []Recommendation{
+		Advise(NetMuchCheaper, 0.1),
+		Advise(NetMuchCheaper, 10),
+		Advise(NetComparable, 0.1),
+		Advise(NetComparable, 10),
+		Advise(NetMuchDearer, 1),
+	}
+}
+
+// RenderTableII writes Table II as text.
+func RenderTableII(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString("== Table II: selection of suitable RSIN ==\n")
+	fmt.Fprintf(&b, "%-22s | %-8s | %s\n", "RELATIVE COSTS", "μs/μn", "NETWORKS TO BE USED")
+	for _, r := range TableII() {
+		fmt.Fprintf(&b, "%-22s | %-8s | %s\n", r.Relation, r.Ratio, r.Network)
+	}
+	b.WriteString("\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"rsin/internal/omega"
+	"rsin/internal/rng"
+)
+
+// BlockingResult summarizes the Section V blocking-probability
+// comparison on an otherwise-free Omega network: the fraction of
+// requests that cannot be connected under the distributed RSIN search
+// versus under conventional address mapping with a random assignment of
+// free resources to requests.
+type BlockingResult struct {
+	Size              int     // network size N
+	Trials            int     // request-set samples
+	Requests          int64   // total requests offered
+	RSINBlocked       float64 // blocking probability, distributed search with reroute
+	NoRerouteBlocked  float64 // blocking probability, distributed search without reroute
+	AddressBlocked    float64 // blocking probability, address mapping
+	RSINBoxesPerGrant float64 // mean interchange boxes traversed per granted request
+}
+
+// Blocking runs the experiment: in each trial every processor requests
+// independently with probability pReq and every output port's resource
+// is free with probability pFree; the same request sets and
+// availability patterns are applied to both scheduling disciplines.
+// Requests in excess of free resources are necessarily blocked under
+// both disciplines and are excluded, isolating network-caused blockage
+// — the quantity the paper's ≈0.15 vs ≈0.3 comparison concerns.
+func Blocking(size, trials int, pReq, pFree float64, seed uint64) BlockingResult {
+	src := rng.New(seed)
+	rsin := omega.New(size, 1)
+	noRe := omega.New(size, 1, omega.WithoutReroute())
+	addr := omega.New(size, 1)
+	res := BlockingResult{Size: size, Trials: trials}
+	var rsinBlocked, noReBlocked, addrBlocked, offered int64
+	var boxes, grants int64
+
+	for trial := 0; trial < trials; trial++ {
+		rsin.Reset()
+		noRe.Reset()
+		addr.Reset()
+		var pids, free []int
+		for p := 0; p < size; p++ {
+			if src.Float64() < pReq {
+				pids = append(pids, p)
+			}
+		}
+		for j := 0; j < size; j++ {
+			if src.Float64() >= pFree {
+				rsin.SetResourceAvailability(j, 0)
+				noRe.SetResourceAvailability(j, 0)
+				addr.SetResourceAvailability(j, 0)
+			} else {
+				free = append(free, j)
+			}
+		}
+		if len(pids) == 0 || len(free) == 0 {
+			continue
+		}
+		// Only the first min(x, y) requests can possibly be served.
+		n := len(pids)
+		if len(free) < n {
+			n = len(free)
+		}
+		offered += int64(n)
+
+		// Distributed RSIN: each request searches for any free
+		// resource, rerouting on rejects.
+		telBefore := rsin.Telemetry()
+		for _, pid := range pids[:n] {
+			if _, ok := rsin.Acquire(pid); !ok {
+				rsinBlocked++
+			}
+		}
+		telAfter := rsin.Telemetry()
+		boxes += telAfter.BoxVisits - telBefore.BoxVisits
+		grants += telAfter.Grants - telBefore.Grants
+
+		// Ablation: distributed search whose rejects fall through to
+		// the source instead of rerouting (bounded hardware effort).
+		for _, pid := range pids[:n] {
+			if _, ok := noRe.Acquire(pid); !ok {
+				noReBlocked++
+			}
+		}
+
+		// Address mapping: a centralized scheduler hands each request
+		// the address of a distinct free resource (random matching);
+		// the network routes by tag and cannot reroute.
+		perm := src.Perm(len(free))
+		for i, pid := range pids[:n] {
+			dst := free[perm[i]]
+			if _, ok := addr.AcquireTag(pid, dst); !ok {
+				addrBlocked++
+			}
+		}
+	}
+	res.Requests = offered
+	if offered > 0 {
+		res.RSINBlocked = float64(rsinBlocked) / float64(offered)
+		res.NoRerouteBlocked = float64(noReBlocked) / float64(offered)
+		res.AddressBlocked = float64(addrBlocked) / float64(offered)
+	}
+	if grants > 0 {
+		res.RSINBoxesPerGrant = float64(boxes) / float64(grants)
+	}
+	return res
+}
+
+// RenderFig11 runs the paper's Fig. 11 walkthrough — resources R0, R1,
+// R4, R5 available, processors P0, P3, P4, P5 requesting simultaneously
+// under two-phase operation — and writes the grants, rejects, and the
+// boxes-per-request average (the paper reports 3.5).
+func RenderFig11(w io.Writer) error {
+	o := omega.New(8, 1)
+	avail := map[int]bool{0: true, 1: true, 4: true, 5: true}
+	for j := 0; j < 8; j++ {
+		if !avail[j] {
+			o.SetResourceAvailability(j, 0)
+		}
+	}
+	pids := []int{0, 3, 4, 5}
+	grants, oks := o.AcquireBatch(pids)
+	var b strings.Builder
+	b.WriteString("== fig11: Omega-network walkthrough (8×8, two-phase operation) ==\n")
+	b.WriteString("available resources: R0 R1 R4 R5; requesting: P0 P3 P4 P5\n")
+	for i, pid := range pids {
+		if oks[i] {
+			fmt.Fprintf(&b, "  P%d → R%d\n", pid, grants[i].Port)
+		} else {
+			fmt.Fprintf(&b, "  P%d → blocked\n", pid)
+		}
+	}
+	tel := o.Telemetry()
+	fmt.Fprintf(&b, "rejects: %d; interchange boxes per request: %.2f (paper: 3.50)\n\n",
+		tel.Rejects, float64(tel.BoxVisits)/float64(len(pids)))
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// FigBlocking renders the blocking comparison across request densities
+// as a figure: x is the request probability, the two series are the
+// blocking probabilities of the two disciplines.
+func FigBlocking(size, trials int, seed uint64) Figure {
+	fig := Figure{
+		ID:     "blocking",
+		Title:  fmt.Sprintf("Blocking probability on a free %d×%d Omega network", size, size),
+		XLabel: "P(request)",
+		YLabel: "P(blocked)",
+	}
+	rsinSeries := Series{Label: "RSIN distributed search"}
+	noReSeries := Series{Label: "RSIN without reroute"}
+	addrSeries := Series{Label: "address mapping (random assignment)"}
+	boxSeries := Series{Label: "RSIN boxes per granted request"}
+	for _, pReq := range []float64{0.25, 0.375, 0.5, 0.625, 0.75} {
+		r := Blocking(size, trials, pReq, 0.5, seed)
+		rsinSeries.Points = append(rsinSeries.Points, Point{X: pReq, Y: r.RSINBlocked})
+		noReSeries.Points = append(noReSeries.Points, Point{X: pReq, Y: r.NoRerouteBlocked})
+		addrSeries.Points = append(addrSeries.Points, Point{X: pReq, Y: r.AddressBlocked})
+		boxSeries.Points = append(boxSeries.Points, Point{X: pReq, Y: r.RSINBoxesPerGrant})
+	}
+	fig.Series = []Series{rsinSeries, noReSeries, addrSeries, boxSeries}
+	fig.Notes = append(fig.Notes,
+		"paper (Section V): average blocking ≈ 0.15 for the 8×8 RSIN vs ≈ 0.3 under address mapping",
+		"requests in excess of free resources are excluded from both disciplines",
+	)
+	return fig
+}

@@ -1,0 +1,237 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation: the single-shared-bus delay curves (Figs. 4–5, analytic),
+// the multiple-shared-bus curves (Figs. 7–8, simulation plus the
+// light/heavy-load approximations), the Omega-network curves
+// (Figs. 12–13, simulation), the Section V blocking-probability
+// comparison, the Section VI cross-network comparison, and the Table II
+// network-selection guidance.
+//
+// All experiments use the paper's canonical plant — 16 processors and
+// 32 resources — with delays normalized by the mean service time and
+// plotted against the traffic intensity ρ of the hypothetical reference
+// system (one bus of rate 16·μn, one resource of rate 32·μs).
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"rsin/internal/config"
+	"rsin/internal/queueing"
+	"rsin/internal/sim"
+	"rsin/internal/workload"
+)
+
+// Plant is the canonical system of the paper's evaluation.
+const (
+	PlantProcessors = 16
+	PlantResources  = 32
+)
+
+// Quality selects the simulation effort for simulation-backed figures.
+type Quality struct {
+	Samples int     // post-warmup delay samples per point
+	Warmup  float64 // warmup period in simulated time units
+	Seed    uint64
+}
+
+// Quick is a fast preset for tests (noisier CIs).
+func Quick() Quality { return Quality{Samples: 20000, Warmup: 500, Seed: 1} }
+
+// Full is the preset used to regenerate the reported figures.
+func Full() Quality { return Quality{Samples: 400000, Warmup: 5000, Seed: 1} }
+
+// Point is one (x, y) sample of a series; simulation-backed points
+// carry a confidence half-width.
+type Point struct {
+	X         float64
+	Y         float64
+	HalfWide  float64
+	Saturated bool // true when the configuration has no steady state here
+}
+
+// Series is one labeled curve.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// Figure is one regenerated table or figure.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	Notes  []string
+}
+
+// Render writes the figure as an aligned text table: one row per x
+// value, one column per series.
+func (f Figure) Render(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", f.ID, f.Title)
+	// Collect the union of x values in order of first appearance.
+	var xs []float64
+	seen := map[float64]bool{}
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			if !seen[p.X] {
+				seen[p.X] = true
+				xs = append(xs, p.X)
+			}
+		}
+	}
+	fmt.Fprintf(&b, "%-8s", f.XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, " | %-24s", s.Label)
+	}
+	b.WriteString("\n")
+	for _, x := range xs {
+		fmt.Fprintf(&b, "%-8.3g", x)
+		for _, s := range f.Series {
+			cell := ""
+			for _, p := range s.Points {
+				if p.X == x {
+					switch {
+					case p.Saturated:
+						cell = "saturated"
+					case p.HalfWide > 0:
+						cell = fmt.Sprintf("%.4g ± %.2g", p.Y, p.HalfWide)
+					default:
+						cell = fmt.Sprintf("%.4g", p.Y)
+					}
+					break
+				}
+			}
+			fmt.Fprintf(&b, " | %-24s", cell)
+		}
+		b.WriteString("\n")
+	}
+	for _, n := range f.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	b.WriteString("\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// RenderCSV writes the figure as CSV: one row per x value, one column
+// per series ("saturated" cells are left empty), with a leading header
+// row. Simulation half-widths get companion "<label> ±" columns.
+func (f Figure) RenderCSV(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString(csvEscape(f.XLabel))
+	hasCI := make([]bool, len(f.Series))
+	for i, s := range f.Series {
+		for _, p := range s.Points {
+			if p.HalfWide > 0 {
+				hasCI[i] = true
+				break
+			}
+		}
+		fmt.Fprintf(&b, ",%s", csvEscape(s.Label))
+		if hasCI[i] {
+			fmt.Fprintf(&b, ",%s ±", csvEscape(s.Label))
+		}
+	}
+	b.WriteString("\n")
+	var xs []float64
+	seen := map[float64]bool{}
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			if !seen[p.X] {
+				seen[p.X] = true
+				xs = append(xs, p.X)
+			}
+		}
+	}
+	for _, x := range xs {
+		fmt.Fprintf(&b, "%g", x)
+		for i, s := range f.Series {
+			val, half := "", ""
+			for _, p := range s.Points {
+				if p.X == x && !p.Saturated {
+					val = fmt.Sprintf("%g", p.Y)
+					if p.HalfWide > 0 {
+						half = fmt.Sprintf("%g", p.HalfWide)
+					}
+					break
+				}
+			}
+			fmt.Fprintf(&b, ",%s", val)
+			if hasCI[i] {
+				fmt.Fprintf(&b, ",%s", half)
+			}
+		}
+		b.WriteString("\n")
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// csvEscape quotes a field when it contains CSV metacharacters.
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+// At returns the y value of the series at x (NaN if absent or
+// saturated).
+func (s Series) At(x float64) float64 {
+	for _, p := range s.Points {
+		if p.X == x && !p.Saturated {
+			return p.Y
+		}
+	}
+	return math.NaN()
+}
+
+// FindSeries returns the series with the given label, or nil.
+func (f Figure) FindSeries(label string) *Series {
+	for i := range f.Series {
+		if f.Series[i].Label == label {
+			return &f.Series[i]
+		}
+	}
+	return nil
+}
+
+// simSeries runs a simulation sweep of one configuration over the ρ
+// grid and returns its normalized-delay series. Points where the run
+// saturates are marked.
+func simSeries(cfg config.Config, muN, muS float64, rhos []float64, q Quality, opt config.BuildOptions) Series {
+	s := Series{Label: cfg.String()}
+	pts := workload.Sweep(PlantProcessors, muN, muS, PlantResources, rhos)
+	for _, pt := range pts {
+		net := cfg.MustBuild(opt)
+		res, err := sim.Run(net, sim.Config{
+			Lambda:  pt.Lambda,
+			MuN:     muN,
+			MuS:     muS,
+			Seed:    q.Seed,
+			Warmup:  q.Warmup,
+			Samples: q.Samples,
+		})
+		if err != nil {
+			s.Points = append(s.Points, Point{X: pt.Rho, Saturated: true})
+			continue
+		}
+		s.Points = append(s.Points, Point{
+			X:        pt.Rho,
+			Y:        res.NormalizedDelay.Mean,
+			HalfWide: res.NormalizedDelay.HalfWide,
+		})
+	}
+	return s
+}
+
+// rhoFor returns the paper's reference-system traffic intensity for a
+// given per-processor arrival rate on the canonical plant.
+func rhoFor(lambda, muN, muS float64) float64 {
+	return queueing.TrafficIntensity(PlantProcessors, lambda, muN, muS, PlantResources)
+}

@@ -1,0 +1,475 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"rsin/internal/config"
+	"rsin/internal/sim"
+)
+
+// testGrid is a small ρ grid that keeps simulation-backed tests fast
+// while still spanning light, moderate, and heavy load.
+func testGrid() []float64 { return []float64{0.2, 0.5, 0.8} }
+
+func TestFig4Shapes(t *testing.T) {
+	fig, err := Fig4([]float64{0.2, 0.4, 0.5, 0.64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 7 {
+		t.Fatalf("series = %d, want 7", len(fig.Series))
+	}
+	p2 := fig.FindSeries("16/2x8x1 SBUS/16")
+	p8 := fig.FindSeries("16/8x2x1 SBUS/4")
+	p16 := fig.FindSeries("16/16x1x1 SBUS/2")
+	r3 := fig.FindSeries("16/16x1x1 SBUS/3")
+	r4 := fig.FindSeries("16/16x1x1 SBUS/4")
+	if p2 == nil || p8 == nil || p16 == nil || r3 == nil || r4 == nil {
+		t.Fatal("missing expected series")
+	}
+	// Paper: under heavy load, more partitions ⇒ lower delay. (The
+	// 2-partition system saturates just above ρ ≈ 0.7, so compare at
+	// the paper's crossover abscissa 0.64 where both are stable.)
+	if !(p8.At(0.64) < p2.At(0.64)) {
+		t.Errorf("at rho=0.64: 8 partitions (%g) should beat 2 partitions (%g)", p8.At(0.64), p2.At(0.64))
+	}
+	// Paper's "strange behavior": 16/16×1×1 SBUS/2 is WORSE than the
+	// 2-partition system below ρ ≈ 0.64 (resources bottleneck) …
+	if !(p16.At(0.4) > p2.At(0.4)) {
+		t.Errorf("at rho=0.4: SBUS/2 (%g) should be worse than 2 partitions (%g)", p16.At(0.4), p2.At(0.4))
+	}
+	// … and beats it from ρ ≈ 0.64 on (bus bottleneck).
+	if !(p16.At(0.64) < p2.At(0.64)) {
+		t.Errorf("at rho=0.64: SBUS/2 (%g) should beat 2 partitions (%g)", p16.At(0.64), p2.At(0.64))
+	}
+	// Paper: delay drops substantially from 2 to 4 private resources.
+	ratio := p16.At(0.5) / r4.At(0.5)
+	if ratio < 1.5 {
+		t.Errorf("r=2 vs r=4 delay ratio at rho=0.5 = %g, paper says ≥ ≈2", ratio)
+	}
+	// Monotone in r: r=2 > r=3 > r=4 at moderate load.
+	if !(p16.At(0.5) > r3.At(0.5) && r3.At(0.5) > r4.At(0.5)) {
+		t.Errorf("private-bus delays not monotone in r: %g, %g, %g",
+			p16.At(0.5), r3.At(0.5), r4.At(0.5))
+	}
+}
+
+func TestFig4CrossoverNearPaperValue(t *testing.T) {
+	// Locate the crossover between 16/16×1×1 SBUS/2 and 16/2×8×1
+	// SBUS/16; the paper reports ρ ≈ 0.64.
+	grid := make([]float64, 0, 60)
+	for x := 0.30; x <= 0.90; x += 0.01 {
+		grid = append(grid, math.Round(x*100)/100)
+	}
+	fig, err := Fig4(grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2 := fig.FindSeries("16/2x8x1 SBUS/16")
+	p16 := fig.FindSeries("16/16x1x1 SBUS/2")
+	crossover := math.NaN()
+	for _, x := range grid {
+		if p16.At(x) <= p2.At(x) {
+			crossover = x
+			break
+		}
+	}
+	if math.IsNaN(crossover) {
+		t.Fatal("no crossover found")
+	}
+	if crossover < 0.5 || crossover > 0.8 {
+		t.Errorf("crossover at rho=%g, paper reports ≈ 0.64", crossover)
+	}
+	t.Logf("crossover at rho = %g (paper: ≈ 0.64)", crossover)
+}
+
+func TestFig5Shapes(t *testing.T) {
+	fig, err := Fig5([]float64{0.2, 0.5, 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p16 := fig.FindSeries("16/16x1x1 SBUS/2")
+	r4 := fig.FindSeries("16/16x1x1 SBUS/4")
+	inf := fig.FindSeries("private bus, r=inf (M/M/1)")
+	if p16 == nil || r4 == nil || inf == nil {
+		t.Fatal("missing series")
+	}
+	// Paper: with μs/μn = 1 the bus binds, so adding resources barely
+	// helps: r=∞ is close to r=4.
+	for _, x := range []float64{0.2, 0.5} {
+		gain := r4.At(x) / inf.At(x)
+		if gain > 1.5 {
+			t.Errorf("at rho=%g: r=4 (%g) should be close to r=inf (%g)", x, r4.At(x), inf.At(x))
+		}
+	}
+	// Few-partition systems saturate early when the bus binds.
+	p1 := fig.FindSeries("16/1x16x1 SBUS/32")
+	sat := 0
+	for _, pt := range p1.Points {
+		if pt.Saturated {
+			sat++
+		}
+	}
+	if sat == 0 {
+		t.Error("single shared bus should saturate across most of the grid at μs/μn=1")
+	}
+}
+
+func TestFig7Shapes(t *testing.T) {
+	fig := Fig7(testGrid(), Quick())
+	if len(fig.Series) != 4 {
+		t.Fatalf("series = %d, want 4", len(fig.Series))
+	}
+	full := fig.FindSeries("16/1x16x32 XBAR/1")
+	part := fig.FindSeries("16/4x4x4 XBAR/2")
+	if full == nil || part == nil {
+		t.Fatal("missing series")
+	}
+	// Paper: with μs/μn small, partitioning has relatively small effect
+	// except under heavy load; delays increase with load everywhere.
+	for _, s := range fig.Series {
+		prev := -1.0
+		for _, p := range s.Points {
+			if p.Saturated {
+				continue
+			}
+			if p.Y < prev-3*p.HalfWide {
+				t.Errorf("%s: delay not increasing with load: %v", s.Label, s.Points)
+			}
+			prev = p.Y
+		}
+	}
+	// Partitioned crossbars can only be worse (or equal): fewer
+	// reachable resources.
+	if part.At(0.8) < full.At(0.8)*0.8 {
+		t.Errorf("at rho=0.8: partitioned (%g) unexpectedly beats full crossbar (%g)",
+			part.At(0.8), full.At(0.8))
+	}
+}
+
+func TestFig8PrivatePortsWin(t *testing.T) {
+	// Paper: when μs/μn is large the network binds, so a private output
+	// port per resource (XBAR/1) beats shared ports (XBAR/2).
+	fig := Fig8([]float64{0.5, 0.8}, Quick())
+	priv := fig.FindSeries("16/1x16x32 XBAR/1")
+	shared := fig.FindSeries("16/1x16x16 XBAR/2")
+	if priv == nil || shared == nil {
+		t.Fatal("missing series")
+	}
+	for _, x := range []float64{0.5, 0.8} {
+		if !(priv.At(x) <= shared.At(x)*1.1) {
+			t.Errorf("at rho=%g: XBAR/1 (%g) should not lose to XBAR/2 (%g)",
+				x, priv.At(x), shared.At(x))
+		}
+	}
+}
+
+func TestFig12Shapes(t *testing.T) {
+	fig := Fig12(testGrid(), Quick())
+	if len(fig.Series) != 3 {
+		t.Fatalf("series = %d, want 3", len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		for _, p := range s.Points {
+			if !p.Saturated && (p.Y < 0 || math.IsNaN(p.Y)) {
+				t.Errorf("%s: bad point %+v", s.Label, p)
+			}
+		}
+	}
+	// Light load: the partitioned networks track the full network
+	// within a small factor (paper: "very little difference … except
+	// when the load is heavy").
+	full := fig.FindSeries("16/1x16x16 OMEGA/2")
+	eight := fig.FindSeries("16/8x2x2 OMEGA/2")
+	if full.At(0.2) > 0 && eight.At(0.2)/full.At(0.2) > 20 {
+		t.Errorf("at rho=0.2: partitioned (%g) wildly above full (%g)", eight.At(0.2), full.At(0.2))
+	}
+}
+
+// TestOmegaTracksCrossbarWhenRatioSmall reproduces the Section VI
+// observation: with μs/μn small the resources are the bottleneck, so
+// Omega and crossbar networks of the same shape have almost identical
+// delay.
+func TestOmegaTracksCrossbarWhenRatioSmall(t *testing.T) {
+	q := Quick()
+	omega := Fig12([]float64{0.5, 0.8}, q).FindSeries("16/1x16x16 OMEGA/2")
+	xbar := Fig7([]float64{0.5, 0.8}, q).FindSeries("16/1x16x16 XBAR/2")
+	for _, x := range []float64{0.5, 0.8} {
+		o, c := omega.At(x), xbar.At(x)
+		if math.IsNaN(o) || math.IsNaN(c) {
+			t.Fatalf("missing points at rho=%g", x)
+		}
+		if diff := math.Abs(o-c) / math.Max(o, c); diff > 0.35 {
+			t.Errorf("at rho=%g: omega %g vs crossbar %g differ by %.0f%%", x, o, c, diff*100)
+		}
+	}
+}
+
+func TestBlockingComparison(t *testing.T) {
+	r := Blocking(8, 4000, 0.5, 0.5, 7)
+	if r.Requests == 0 {
+		t.Fatal("no requests offered")
+	}
+	// Paper: RSIN ≈ 0.15 vs address-mapping ≈ 0.3 — the distributed
+	// search should block roughly half as often, and must never block
+	// more.
+	if r.RSINBlocked >= r.AddressBlocked {
+		t.Errorf("RSIN blocking %g not below address-mapping %g", r.RSINBlocked, r.AddressBlocked)
+	}
+	if r.AddressBlocked < 0.1 || r.AddressBlocked > 0.5 {
+		t.Errorf("address-mapping blocking %g outside the paper's regime (≈0.3)", r.AddressBlocked)
+	}
+	if r.RSINBlocked > 0.25 {
+		t.Errorf("RSIN blocking %g too high (paper ≈ 0.15)", r.RSINBlocked)
+	}
+	if r.RSINBoxesPerGrant < float64(3) {
+		t.Errorf("boxes per grant %g below the 3-stage minimum", r.RSINBoxesPerGrant)
+	}
+	t.Logf("blocking: RSIN %.3f vs address %.3f (paper: ≈0.15 vs ≈0.3); boxes/grant %.2f",
+		r.RSINBlocked, r.AddressBlocked, r.RSINBoxesPerGrant)
+}
+
+func TestFigBlockingRenderable(t *testing.T) {
+	fig := FigBlocking(8, 500, 3)
+	var sb strings.Builder
+	if err := fig.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "RSIN") {
+		t.Error("render missing series")
+	}
+}
+
+func TestCompareSBUS3Wins(t *testing.T) {
+	// Section VI: when resources are cheap relative to the network,
+	// private buses with extra resources (48) have much better delay
+	// than partitioned 4×4×4 networks with 32 — decisively so under
+	// heavy load with μs/μn = 0.1, where the extra capacity dominates
+	// the pooling advantage of the shared networks.
+	fig := FigCompare(0.1, []float64{0.9, 0.95}, Quick())
+	sbus := fig.Series[0]
+	omega := fig.FindSeries("16/4x4x4 OMEGA/2")
+	xbar := fig.FindSeries("16/4x4x4 XBAR/2")
+	if omega == nil || xbar == nil {
+		t.Fatal("missing series")
+	}
+	for _, x := range []float64{0.9, 0.95} {
+		if !(sbus.At(x) < omega.At(x)) || !(sbus.At(x) < xbar.At(x)) {
+			t.Errorf("at rho=%g: SBUS/3 (%g) should beat 4x4x4 OMEGA/2 (%g) and XBAR/2 (%g)",
+				x, sbus.At(x), omega.At(x), xbar.At(x))
+		}
+	}
+}
+
+func TestLightLoadApproximationClose(t *testing.T) {
+	// Paper: the light-load approximation is close to simulation for
+	// μs·d ≤ 1. Compare at ρ = 0.2 on the full crossbar.
+	q := Quick()
+	fig := Fig7([]float64{0.2}, q)
+	simY := fig.FindSeries("16/1x16x16 XBAR/2").At(0.2)
+	lam := lambdaAt(0.2, 1, 0.1)
+	approx, sat, err := LightLoadApproximation(lam, 1, 0.1, 16, 2)
+	if err != nil || sat {
+		t.Fatalf("approximation failed: %v sat=%v", err, sat)
+	}
+	if rel := math.Abs(approx-simY) / math.Max(approx, simY); rel > 0.5 {
+		t.Errorf("light-load approx %g vs sim %g differ by %.0f%%", approx, simY, rel*100)
+	}
+}
+
+// TestCrossbarApproximationAccuracy quantifies the analytical blend of
+// the two Section IV limits against simulation. The paper used
+// simulation "for cases in between"; the blend stays within ~10% at
+// light-to-moderate load and within a factor of 1.5 at heavy load.
+func TestCrossbarApproximationAccuracy(t *testing.T) {
+	for _, ratio := range []float64{0.1, 1.0} {
+		muN, muS := 1.0, ratio
+		for _, tc := range []struct {
+			rho    float64
+			relTol float64
+		}{
+			{0.2, 0.15}, {0.4, 0.15}, {0.8, 0.55},
+		} {
+			lam := lambdaAt(tc.rho, muN, muS)
+			net := config.MustParse("16/1x16x16 XBAR/2").MustBuild(config.BuildOptions{})
+			res, err := sim.Run(net, sim.Config{
+				Lambda: lam, MuN: muN, MuS: muS,
+				Seed: 1, Warmup: 1000, Samples: 60000,
+			})
+			if err != nil {
+				t.Fatalf("ratio %g rho %g: %v", ratio, tc.rho, err)
+			}
+			approx, sat, err := CrossbarApproximation(lam, muN, muS, 16, 16, 2)
+			if err != nil || sat {
+				t.Fatalf("ratio %g rho %g: approx failed (sat=%v, err=%v)", ratio, tc.rho, sat, err)
+			}
+			simY := res.NormalizedDelay.Mean
+			if rel := math.Abs(approx-simY) / simY; rel > tc.relTol {
+				t.Errorf("ratio %g rho %g: approx %.4g vs sim %.4g (%.0f%% > %.0f%%)",
+					ratio, tc.rho, approx, simY, rel*100, tc.relTol*100)
+			}
+		}
+	}
+}
+
+func TestCrossbarApproximationSaturation(t *testing.T) {
+	// Offered load beyond the network capacity must report saturated.
+	_, sat, err := CrossbarApproximation(1.5, 1, 1, 16, 16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sat {
+		t.Error("uNet > 1 should report saturation")
+	}
+}
+
+func TestHeavyLoadApproximationModes(t *testing.T) {
+	// p > m branch.
+	if _, _, err := HeavyLoadApproximation(0.01, 1, 0.1, 16, 8, 2); err != nil {
+		t.Errorf("p>m branch failed: %v", err)
+	}
+	// m > p branch.
+	if _, _, err := HeavyLoadApproximation(0.01, 1, 0.1, 8, 16, 2); err != nil {
+		t.Errorf("m>p branch failed: %v", err)
+	}
+	// Non-integral ratio rejected.
+	if _, _, err := HeavyLoadApproximation(0.01, 1, 0.1, 16, 7, 2); err == nil {
+		t.Error("non-integral ratio accepted")
+	}
+}
+
+func TestTableII(t *testing.T) {
+	rows := TableII()
+	if len(rows) != 5 {
+		t.Fatalf("TableII rows = %d, want 5", len(rows))
+	}
+	// Spot-check against the paper's table.
+	if r := Advise(NetMuchCheaper, 0.1); !strings.Contains(r.Network, "multistage") {
+		t.Errorf("cheap net, small ratio: %q", r.Network)
+	}
+	if r := Advise(NetMuchCheaper, 10); !strings.Contains(r.Network, "crossbar") {
+		t.Errorf("cheap net, large ratio: %q", r.Network)
+	}
+	if r := Advise(NetMuchDearer, 5); !strings.Contains(r.Network, "private bus") {
+		t.Errorf("dear net: %q", r.Network)
+	}
+	if r := Advise(NetComparable, 0.5); !strings.Contains(r.Network, "small multistage") {
+		t.Errorf("comparable, small ratio: %q", r.Network)
+	}
+	var sb strings.Builder
+	if err := RenderTableII(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "private bus") {
+		t.Error("rendered table incomplete")
+	}
+}
+
+func TestRenderFigure(t *testing.T) {
+	fig, err := Fig4([]float64{0.2, 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := fig.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"fig4", "rho", "SBUS/2", "0.2", "0.8"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRatioSweepShape: the pooled networks' advantage over private
+// buses is enormous when μs/μn is small (resources bound; pooling wins)
+// and vanishes when it is large (each processor's own serial
+// transmission binds; no network can help) — the axis Table II keys on.
+func TestRatioSweepShape(t *testing.T) {
+	fig := FigRatioSweep(0.7, []float64{0.1, 10}, Quick())
+	xbar := fig.FindSeries("16/1x16x32 XBAR/1")
+	sbus := fig.FindSeries("16/16x1x1 SBUS/2")
+	if xbar == nil || sbus == nil {
+		t.Fatal("missing series")
+	}
+	smallGap := sbus.At(0.1) / xbar.At(0.1)
+	largeGap := sbus.At(10) / xbar.At(10)
+	if smallGap < 5 {
+		t.Errorf("at μs/μn=0.1 the network should win big: gap %.2f", smallGap)
+	}
+	if largeGap > 1.5 {
+		t.Errorf("at μs/μn=10 the private bus should be competitive: gap %.2f", largeGap)
+	}
+}
+
+func TestRenderFig11(t *testing.T) {
+	var sb strings.Builder
+	if err := RenderFig11(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"3.50 (paper: 3.50)", "rejects: 1", "P0 →", "P5 →"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig11 rendering missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "blocked") {
+		t.Errorf("no request should block in the Fig. 11 scenario:\n%s", out)
+	}
+}
+
+func TestRenderTableI(t *testing.T) {
+	var sb strings.Builder
+	if err := RenderTableI(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	// The distinctive rows: allocation (S=1) and the latch-dependent
+	// Y_out in request mode.
+	if !strings.Contains(out, "Request  | 1  1  0  | 0      0      1  0") {
+		t.Errorf("table I missing the allocation row:\n%s", out)
+	}
+	if !strings.Contains(out, "Request  | 0  1  1  | 0      0      0  0") {
+		t.Errorf("table I missing the latched-row blocking entry:\n%s", out)
+	}
+	if !strings.Contains(out, "Reset    | 1  1  0  | 1      1      0  1") {
+		t.Errorf("table I missing the reset row:\n%s", out)
+	}
+}
+
+func TestRenderCSV(t *testing.T) {
+	fig := Figure{
+		ID: "t", XLabel: "rho",
+		Series: []Series{
+			{Label: "a,b", Points: []Point{{X: 0.1, Y: 2}, {X: 0.2, Saturated: true}}},
+			{Label: "sim", Points: []Point{{X: 0.1, Y: 3, HalfWide: 0.5}}},
+		},
+	}
+	var sb strings.Builder
+	if err := fig.RenderCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d, want 3:\n%s", len(lines), out)
+	}
+	if lines[0] != `rho,"a,b",sim,sim ±` {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "0.1,2,3,0.5" {
+		t.Errorf("row 1 = %q", lines[1])
+	}
+	if lines[2] != "0.2,,," {
+		t.Errorf("saturated row = %q (cells should be empty)", lines[2])
+	}
+}
+
+// lambdaAt converts a reference-system ρ to a per-processor λ on the
+// canonical plant.
+func lambdaAt(rho, muN, muS float64) float64 {
+	return rho / (16 * (1/(16*muN) + 1/(32*muS)))
+}

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+
+	"rsin/internal/markov"
+	"rsin/internal/queueing"
+	"rsin/internal/workload"
+)
+
+// SBUSVariant describes one curve of Figs. 4–5: either a partitioning
+// of the canonical plant (16 processors, 32 resources split across k
+// buses) or a private-bus system with a given number of resources per
+// processor (possibly exceeding the canonical 32 in total, as the
+// paper's r = 3, 4, ∞ curves do).
+type SBUSVariant struct {
+	Label      string
+	Partitions int // k buses, each 16/k processors and 32/k resources
+	PrivateR   int // if > 0: 16 private buses with PrivateR resources each
+	InfiniteR  bool
+}
+
+// sbusVariants is the curve set of the paper's Figs. 4 and 5.
+func sbusVariants() []SBUSVariant {
+	return []SBUSVariant{
+		{Label: "16/1x16x1 SBUS/32", Partitions: 1},
+		{Label: "16/2x8x1 SBUS/16", Partitions: 2},
+		{Label: "16/8x2x1 SBUS/4", Partitions: 8},
+		{Label: "16/16x1x1 SBUS/2", Partitions: 16},
+		{Label: "16/16x1x1 SBUS/3", PrivateR: 3},
+		{Label: "16/16x1x1 SBUS/4", PrivateR: 4},
+		{Label: "private bus, r=inf (M/M/1)", InfiniteR: true},
+	}
+}
+
+// SBUSDelay returns the exact normalized queueing delay of one SBUS
+// variant at per-processor arrival rate lambda, or saturated=true when
+// the variant has no steady state there.
+func SBUSDelay(v SBUSVariant, lambda, muN, muS float64) (delay float64, saturated bool, err error) {
+	switch {
+	case v.InfiniteR:
+		// Private bus with unlimited resources: pure M/M/1 on the bus.
+		wq, err := queueing.MM1WaitingTime(lambda, muN)
+		if err == queueing.ErrUnstable {
+			return 0, true, nil
+		}
+		if err != nil {
+			return 0, false, err
+		}
+		return queueing.NormalizeDelay(wq, muS), false, nil
+	case v.PrivateR > 0:
+		return sbusMarkov(markov.Params{P: 1, Lambda: lambda, MuN: muN, MuS: muS, R: v.PrivateR})
+	case v.Partitions > 0:
+		p := PlantProcessors / v.Partitions
+		r := PlantResources / v.Partitions
+		return sbusMarkov(markov.Params{P: p, Lambda: lambda, MuN: muN, MuS: muS, R: r})
+	default:
+		return 0, false, fmt.Errorf("experiments: empty SBUS variant %+v", v)
+	}
+}
+
+func sbusMarkov(mp markov.Params) (float64, bool, error) {
+	res, err := markov.SolveMatrixGeometric(mp)
+	if err == markov.ErrUnstable {
+		return 0, true, nil
+	}
+	if err != nil {
+		return 0, false, err
+	}
+	return res.NormalizedDelay, false, nil
+}
+
+// FigSBUS regenerates Fig. 4 (ratio = 0.1) or Fig. 5 (ratio = 1.0):
+// normalized queueing delay of the single-shared-bus variants versus
+// traffic intensity, computed with the exact Markov analysis of
+// Section III.
+func FigSBUS(id string, ratio float64, rhos []float64) (Figure, error) {
+	const muN = 1.0
+	muS := ratio * muN // μs/μn = ratio
+	fig := Figure{
+		ID:     id,
+		Title:  fmt.Sprintf("Normalized queueing delay of single shared bus, μs/μn = %g (Markov analysis)", ratio),
+		XLabel: "rho",
+		YLabel: "d·μs",
+	}
+	pts := workload.Sweep(PlantProcessors, muN, muS, PlantResources, rhos)
+	for _, v := range sbusVariants() {
+		s := Series{Label: v.Label}
+		for _, pt := range pts {
+			d, sat, err := SBUSDelay(v, pt.Lambda, muN, muS)
+			if err != nil {
+				return Figure{}, fmt.Errorf("experiments: %s at rho=%g: %w", v.Label, pt.Rho, err)
+			}
+			s.Points = append(s.Points, Point{X: pt.Rho, Y: d, Saturated: sat})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	fig.Notes = append(fig.Notes,
+		"partitioned variants split the canonical 16 processors / 32 resources across k independent buses",
+		"private-bus variants give each processor its own bus with r resources (r=3,4 exceed 32 total, as in the paper)",
+	)
+	return fig, nil
+}
+
+// Fig4 regenerates the paper's Fig. 4 (μs/μn = 0.1).
+func Fig4(rhos []float64) (Figure, error) { return FigSBUS("fig4", 0.1, rhos) }
+
+// Fig5 regenerates the paper's Fig. 5 (μs/μn = 1.0).
+func Fig5(rhos []float64) (Figure, error) { return FigSBUS("fig5", 1.0, rhos) }

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"fmt"
+
+	"rsin/internal/config"
+	"rsin/internal/queueing"
+	"rsin/internal/sim"
+)
+
+// FigRatioSweep sweeps the decisive parameter of Section VI — the ratio
+// μs/μn of task service to transmission rates — at a fixed traffic
+// intensity, comparing the full crossbar, the full Omega network, and
+// the private-bus system. Table II's advice keys on exactly this axis:
+// multistage networks are favorable while μs/μn is small (resources
+// bound), crossbars gain as the network becomes the bottleneck, and the
+// relative attraction of simply buying more private resources fades.
+//
+// Delays are normalized per-ratio by μs, as in the paper's figures.
+func FigRatioSweep(rho float64, ratios []float64, q Quality) Figure {
+	const muN = 1.0
+	fig := Figure{
+		ID:     "ratio-sweep",
+		Title:  fmt.Sprintf("Normalized delay vs μs/μn at rho = %g (simulation)", rho),
+		XLabel: "μs/μn",
+		YLabel: "d·μs",
+	}
+	configs := []config.Config{
+		config.MustParse("16/1x16x32 XBAR/1"),
+		config.MustParse("16/1x16x16 OMEGA/2"),
+		config.MustParse("16/16x1x1 SBUS/2"),
+	}
+	for _, cfg := range configs {
+		s := Series{Label: cfg.String()}
+		for _, ratio := range ratios {
+			muS := ratio * muN
+			lambda := queueing.LambdaForIntensity(rho, PlantProcessors, muN, muS, PlantResources)
+			net := cfg.MustBuild(config.BuildOptions{Seed: q.Seed})
+			res, err := sim.Run(net, sim.Config{
+				Lambda: lambda, MuN: muN, MuS: muS,
+				Seed: q.Seed, Warmup: q.Warmup, Samples: q.Samples,
+			})
+			if err != nil {
+				s.Points = append(s.Points, Point{X: ratio, Saturated: true})
+				continue
+			}
+			s.Points = append(s.Points, Point{
+				X:        ratio,
+				Y:        res.NormalizedDelay.Mean,
+				HalfWide: res.NormalizedDelay.HalfWide,
+			})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	fig.Notes = append(fig.Notes,
+		"Table II keys its recommendation on μs/μn: multistage while small, crossbar as it grows",
+	)
+	return fig
+}
+
+// PaperRatioGrid is the μs/μn sweep used by the ratio figure.
+func PaperRatioGrid() []float64 {
+	return []float64{0.05, 0.1, 0.2, 0.5, 1, 2, 5, 10}
+}

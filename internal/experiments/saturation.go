@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"errors"
+
+	"rsin/internal/config"
+	"rsin/internal/markov"
+	"rsin/internal/queueing"
+	"rsin/internal/sim"
+)
+
+// SaturationSearch estimates the saturation traffic intensity ρ* of a
+// configuration at the given μs/μn ratio: the largest reference-system
+// ρ the system can carry in steady state. The search brackets ρ* by
+// bisection; a probe point counts as saturated when the simulation
+// trips its queue cap (the queue grows without bound above capacity).
+//
+// The simulation probe is an upper estimate: just above capacity the
+// queue drifts too slowly to trip the cap within the probe horizon, so
+// ρ* can be overstated by a few percent. For SBUS systems the exact
+// value from the Markov drift bound (markov.Capacity) is used instead;
+// the tests validate the search against it.
+func SaturationSearch(cfg config.Config, ratio float64, q Quality) float64 {
+	muN := 1.0
+	muS := ratio * muN
+	lo, hi := 0.0, 2.0
+	// 10 bisections give ρ* to ±0.001·2 — far below simulation noise.
+	for iter := 0; iter < 10; iter++ {
+		mid := (lo + hi) / 2
+		if saturatedAt(cfg, muN, muS, mid, q) {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// saturatedAt probes one operating point.
+func saturatedAt(cfg config.Config, muN, muS, rho float64, q Quality) bool {
+	lambda := queueing.LambdaForIntensity(rho, PlantProcessors, muN, muS, PlantResources)
+	if cfg.Type == config.SBUS {
+		// Exact: compare the per-bus arrival rate against the drift
+		// capacity.
+		perBus := float64(cfg.Inputs) * lambda
+		return perBus >= markov.Capacity(muN, muS, cfg.PerPort)
+	}
+	net := cfg.MustBuild(config.BuildOptions{Seed: q.Seed})
+	samples := q.Samples
+	if samples < 40000 {
+		samples = 40000 // give slow divergence time to express itself
+	}
+	_, err := sim.Run(net, sim.Config{
+		Lambda: lambda, MuN: muN, MuS: muS,
+		Seed: q.Seed, Warmup: q.Warmup, Samples: samples,
+		MaxQueue: 300,
+	})
+	return errors.Is(err, sim.ErrSaturated)
+}

@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"rsin/internal/config"
+	"rsin/internal/markov"
+	"rsin/internal/queueing"
+)
+
+// TestSaturationMatchesMarkovCapacity validates the search against the
+// exact drift capacity of the bus chain.
+func TestSaturationMatchesMarkovCapacity(t *testing.T) {
+	cfg := config.MustParse("16/16x1x1 SBUS/2")
+	ratio := 0.1
+	got := SaturationSearch(cfg, ratio, Quick())
+	// Exact: per-bus λ* = Capacity(1, 0.1, 2); convert to reference ρ.
+	lamStar := markov.Capacity(1, ratio, 2)
+	want := queueing.TrafficIntensity(PlantProcessors, lamStar, 1, ratio, PlantResources)
+	if math.Abs(got-want) > 0.01 {
+		t.Errorf("saturation rho = %.4f, exact %.4f", got, want)
+	}
+}
+
+// TestSaturationOrdering checks the capacity ranking of the network
+// classes at μs/μn = 0.1: the full crossbar can never saturate before
+// the partitioned one, and partitioned systems with fewer reachable
+// resources saturate earlier.
+func TestSaturationOrdering(t *testing.T) {
+	q := Quality{Samples: 15000, Warmup: 500, Seed: 1}
+	ratio := 0.1
+	full := SaturationSearch(config.MustParse("16/1x16x32 XBAR/1"), ratio, q)
+	part := SaturationSearch(config.MustParse("16/4x4x4 XBAR/2"), ratio, q)
+	omega := SaturationSearch(config.MustParse("16/1x16x16 OMEGA/2"), ratio, q)
+	tiny := SaturationSearch(config.MustParse("16/8x2x2 OMEGA/2"), ratio, q)
+	if !(full >= part-0.05) {
+		t.Errorf("full crossbar ρ* %.3f should be ≥ partitioned %.3f", full, part)
+	}
+	if !(omega >= tiny-0.05) {
+		t.Errorf("full omega ρ* %.3f should be ≥ eight 2x2 %.3f", omega, tiny)
+	}
+	// All pooled-resource systems at μs/μn=0.1 saturate well above the
+	// single-shared-bus reference point.
+	sbus1 := SaturationSearch(config.MustParse("16/1x16x1 SBUS/32"), ratio, q)
+	if !(full > sbus1 && omega > sbus1) {
+		t.Errorf("networks (%.3f, %.3f) should out-carry the single bus (%.3f)", full, omega, sbus1)
+	}
+	t.Logf("rho*: XBAR/1 %.3f, 4x4x4 XBAR/2 %.3f, OMEGA/2 %.3f, 8x2x2 %.3f, 1-bus %.3f",
+		full, part, omega, tiny, sbus1)
+}

@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"rsin/internal/crossbar"
+)
+
+// RenderTableI evaluates the gate-level crossbar cell over every input
+// combination and writes the paper's Table I (truth table of the cell
+// in the shared-bus crossbar). Rows where the output depends on the
+// control latch are printed for both latch states.
+func RenderTableI(w io.Writer) error {
+	cell := crossbar.NewCell()
+	var b strings.Builder
+	b.WriteString("== Table I: truth table of cell in shared buses (gate-level evaluation) ==\n")
+	fmt.Fprintf(&b, "%-8s | %-2s %-2s %-2s | %-6s %-6s %-2s %-2s\n",
+		"MODE", "X", "Y", "L", "X_out", "Y_out", "S", "R")
+	bit := func(v bool) string {
+		if v {
+			return "1"
+		}
+		return "0"
+	}
+	for _, mode := range []bool{true, false} {
+		label := "Request"
+		if !mode {
+			label = "Reset"
+		}
+		for _, x := range []bool{false, true} {
+			for _, y := range []bool{false, true} {
+				// The latch only matters in request mode with X=0, Y=1;
+				// print both latch states there, L=0 elsewhere.
+				latches := []bool{false}
+				if mode && !x && y {
+					latches = []bool{false, true}
+				}
+				for _, l := range latches {
+					out := cell.Eval(mode, x, y, l, 0, 0)
+					fmt.Fprintf(&b, "%-8s | %-2s %-2s %-2s | %-6s %-6s %-2s %-2s\n",
+						label, bit(x), bit(y), bit(l),
+						bit(out.XOut), bit(out.YOut), bit(out.S), bit(out.R))
+				}
+			}
+		}
+	}
+	b.WriteString("gates per cell: ")
+	fmt.Fprintf(&b, "%d (+1 latch); paper's budget: 11 gates + 1 latch\n\n", cell.NumGates())
+	_, err := io.WriteString(w, b.String())
+	return err
+}

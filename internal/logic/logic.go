@@ -1,0 +1,247 @@
+// Package logic is a small gate-level combinational-network simulator
+// used to validate the paper's hardware claims about the distributed
+// crossbar cell (Section IV): the Table I truth table, the
+// gates-per-cell budget, and the 4-gate-delay (request) / 1-gate-delay
+// (reset) critical paths that bound the cycle lengths at 4(p+m) and
+// (p+m) gate delays.
+//
+// A Circuit is a DAG of unit-delay gates over boolean nodes. Evaluation
+// computes each node's value and its settle time in gate delays: the
+// time of a gate output is max(input times) + 1, with primary inputs
+// settling at caller-specified times (so wavefront propagation through
+// arrays of circuits can be timed exactly).
+package logic
+
+import "fmt"
+
+// Op is a gate operation.
+type Op uint8
+
+// Supported gate operations.
+const (
+	OpNot Op = iota
+	OpAnd
+	OpOr
+	OpNand
+	OpNor
+	OpXor
+)
+
+// String returns the operation mnemonic.
+func (o Op) String() string {
+	switch o {
+	case OpNot:
+		return "NOT"
+	case OpAnd:
+		return "AND"
+	case OpOr:
+		return "OR"
+	case OpNand:
+		return "NAND"
+	case OpNor:
+		return "NOR"
+	case OpXor:
+		return "XOR"
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(o))
+	}
+}
+
+// Node identifies a wire in the circuit.
+type Node int
+
+type gate struct {
+	op  Op
+	in  []Node
+	out Node
+}
+
+// Circuit is a combinational network. Build it once with Input/Gate,
+// then evaluate it many times.
+type Circuit struct {
+	nodes  int
+	inputs []Node
+	gates  []gate
+}
+
+// New returns an empty circuit.
+func New() *Circuit { return &Circuit{} }
+
+// Input allocates a primary-input node.
+func (c *Circuit) Input() Node {
+	n := Node(c.nodes)
+	c.nodes++
+	c.inputs = append(c.inputs, n)
+	return n
+}
+
+// Gate adds a unit-delay gate and returns its output node. Gates must
+// be added in topological order (inputs must already exist).
+func (c *Circuit) Gate(op Op, in ...Node) Node {
+	if len(in) == 0 {
+		panic("logic: gate with no inputs")
+	}
+	if op == OpNot && len(in) != 1 {
+		panic("logic: NOT takes exactly one input")
+	}
+	for _, n := range in {
+		if int(n) >= c.nodes || n < 0 {
+			panic(fmt.Sprintf("logic: input node %d does not exist", n))
+		}
+	}
+	out := Node(c.nodes)
+	c.nodes++
+	c.gates = append(c.gates, gate{op: op, in: append([]Node(nil), in...), out: out})
+	return out
+}
+
+// NumGates returns the number of gates in the circuit.
+func (c *Circuit) NumGates() int { return len(c.gates) }
+
+// Eval computes all node values and settle times. values and times must
+// map every primary input (by Node) to its boolean value and its settle
+// time in gate delays; Eval returns dense value/time slices indexed by
+// Node. For repeated evaluation on a hot path, use an Evaluator, which
+// reuses its buffers.
+func (c *Circuit) Eval(values map[Node]bool, times map[Node]int) ([]bool, []int) {
+	e := c.NewEvaluator()
+	for _, in := range c.inputs {
+		val, ok := values[in]
+		if !ok {
+			panic(fmt.Sprintf("logic: primary input %d not driven", in))
+		}
+		e.SetInput(in, val, times[in])
+	}
+	e.Run()
+	return e.v, e.t
+}
+
+// Evaluator evaluates one Circuit repeatedly without allocating:
+// SetInput every primary input, then Run, then read Value/Time.
+type Evaluator struct {
+	c *Circuit
+	v []bool
+	t []int
+}
+
+// NewEvaluator returns a reusable evaluator for the circuit. The
+// circuit must not gain gates afterwards.
+func (c *Circuit) NewEvaluator() *Evaluator {
+	return &Evaluator{c: c, v: make([]bool, c.nodes), t: make([]int, c.nodes)}
+}
+
+// SetInput drives primary input n with a value and settle time.
+func (e *Evaluator) SetInput(n Node, val bool, time int) {
+	e.v[n] = val
+	e.t[n] = time
+}
+
+// Run evaluates all gates in construction (topological) order.
+func (e *Evaluator) Run() {
+	for _, g := range e.c.gates {
+		e.t[g.out] = settleTime(g, e.v, e.t) + 1
+		e.v[g.out] = apply(g.op, g.in, e.v)
+	}
+}
+
+// Value returns node n's value after Run.
+func (e *Evaluator) Value(n Node) bool { return e.v[n] }
+
+// Time returns node n's settle time after Run.
+func (e *Evaluator) Time(n Node) int { return e.t[n] }
+
+// settleTime returns when gate g's inputs determine its output, using
+// controlling-value timing: an AND (NAND) settles as soon as its
+// earliest false input arrives, an OR (NOR) as soon as its earliest
+// true input arrives; otherwise the gate waits for all inputs. This is
+// the timing a real gate exhibits and is what makes the paper's
+// 1-gate-delay reset path real even though the cell's netlist is shared
+// between modes.
+func settleTime(g gate, v []bool, t []int) int {
+	var controlling bool
+	switch g.op {
+	case OpAnd, OpNand:
+		controlling = false
+	case OpOr, OpNor:
+		controlling = true
+	default:
+		// NOT and XOR are sensitive to every input.
+		maxT := 0
+		for _, in := range g.in {
+			if t[in] > maxT {
+				maxT = t[in]
+			}
+		}
+		return maxT
+	}
+	minCtl := -1
+	maxT := 0
+	for _, in := range g.in {
+		if v[in] == controlling && (minCtl == -1 || t[in] < minCtl) {
+			minCtl = t[in]
+		}
+		if t[in] > maxT {
+			maxT = t[in]
+		}
+	}
+	if minCtl >= 0 {
+		return minCtl
+	}
+	return maxT
+}
+
+func apply(op Op, in []Node, v []bool) bool {
+	switch op {
+	case OpNot:
+		return !v[in[0]]
+	case OpAnd, OpNand:
+		r := true
+		for _, n := range in {
+			r = r && v[n]
+		}
+		if op == OpNand {
+			return !r
+		}
+		return r
+	case OpOr, OpNor:
+		r := false
+		for _, n := range in {
+			r = r || v[n]
+		}
+		if op == OpNor {
+			return !r
+		}
+		return r
+	case OpXor:
+		r := false
+		for _, n := range in {
+			r = r != v[n]
+		}
+		return r
+	default:
+		panic(fmt.Sprintf("logic: unknown op %d", op))
+	}
+}
+
+// SRLatch models the cell's control latch: set-dominant is not needed
+// because the cell never asserts S and R together (Table I).
+type SRLatch struct {
+	q bool
+}
+
+// Q returns the latch state.
+func (l *SRLatch) Q() bool { return l.q }
+
+// Apply updates the latch from set/reset pulses. Asserting both is a
+// design error and panics.
+func (l *SRLatch) Apply(s, r bool) {
+	if s && r {
+		panic("logic: S and R asserted together")
+	}
+	if s {
+		l.q = true
+	}
+	if r {
+		l.q = false
+	}
+}

@@ -1,0 +1,190 @@
+package logic
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGateOps(t *testing.T) {
+	cases := []struct {
+		op   Op
+		a, b bool
+		want bool
+	}{
+		{OpAnd, true, true, true},
+		{OpAnd, true, false, false},
+		{OpOr, false, false, false},
+		{OpOr, true, false, true},
+		{OpNand, true, true, false},
+		{OpNand, false, true, true},
+		{OpNor, false, false, true},
+		{OpNor, true, false, false},
+		{OpXor, true, true, false},
+		{OpXor, true, false, true},
+	}
+	for _, tc := range cases {
+		c := New()
+		a, b := c.Input(), c.Input()
+		out := c.Gate(tc.op, a, b)
+		v, _ := c.Eval(map[Node]bool{a: tc.a, b: tc.b}, nil)
+		if v[out] != tc.want {
+			t.Errorf("%v(%v,%v) = %v, want %v", tc.op, tc.a, tc.b, v[out], tc.want)
+		}
+	}
+}
+
+func TestNot(t *testing.T) {
+	c := New()
+	a := c.Input()
+	out := c.Gate(OpNot, a)
+	v, _ := c.Eval(map[Node]bool{a: true}, nil)
+	if v[out] {
+		t.Error("NOT(true) = true")
+	}
+}
+
+func TestDepthAccounting(t *testing.T) {
+	// Chain of 3 gates: depth accumulates one per gate plus input time.
+	c := New()
+	a := c.Input()
+	n1 := c.Gate(OpNot, a)
+	n2 := c.Gate(OpNot, n1)
+	n3 := c.Gate(OpNot, n2)
+	v, tm := c.Eval(map[Node]bool{a: true}, map[Node]int{a: 5})
+	if tm[n3] != 8 {
+		t.Errorf("depth = %d, want 8 (input 5 + 3 gates)", tm[n3])
+	}
+	if v[n3] != false {
+		t.Error("triple inversion wrong")
+	}
+}
+
+func TestDepthTakesMaxOfInputs(t *testing.T) {
+	c := New()
+	a, b := c.Input(), c.Input()
+	out := c.Gate(OpAnd, a, b)
+	_, tm := c.Eval(map[Node]bool{a: true, b: true}, map[Node]int{a: 2, b: 9})
+	if tm[out] != 10 {
+		t.Errorf("depth = %d, want 10", tm[out])
+	}
+}
+
+func TestUndrivenInputPanics(t *testing.T) {
+	c := New()
+	c.Input()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for undriven input")
+		}
+	}()
+	c.Eval(map[Node]bool{}, nil)
+}
+
+func TestBadGateConstruction(t *testing.T) {
+	for name, f := range map[string]func(){
+		"no inputs":    func() { New().Gate(OpAnd) },
+		"NOT arity":    func() { c := New(); a, b := c.Input(), c.Input(); c.Gate(OpNot, a, b) },
+		"missing node": func() { c := New(); c.Gate(OpNot, Node(5)) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		})
+	}
+}
+
+func TestSRLatch(t *testing.T) {
+	var l SRLatch
+	if l.Q() {
+		t.Error("latch should start off")
+	}
+	l.Apply(true, false)
+	if !l.Q() {
+		t.Error("set failed")
+	}
+	l.Apply(false, false)
+	if !l.Q() {
+		t.Error("hold failed")
+	}
+	l.Apply(false, true)
+	if l.Q() {
+		t.Error("reset failed")
+	}
+}
+
+func TestSRLatchConflictPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on S=R=1")
+		}
+	}()
+	var l SRLatch
+	l.Apply(true, true)
+}
+
+func TestDeMorganProperty(t *testing.T) {
+	// NAND(a,b) == OR(NOT a, NOT b) for all inputs.
+	c := New()
+	a, b := c.Input(), c.Input()
+	nand := c.Gate(OpNand, a, b)
+	or := c.Gate(OpOr, c.Gate(OpNot, a), c.Gate(OpNot, b))
+	if err := quick.Check(func(x, y bool) bool {
+		v, _ := c.Eval(map[Node]bool{a: x, b: y}, nil)
+		return v[nand] == v[or]
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvaluatorMatchesEval(t *testing.T) {
+	c := New()
+	a, b := c.Input(), c.Input()
+	nand := c.Gate(OpNand, a, b)
+	out := c.Gate(OpOr, nand, a)
+	e := c.NewEvaluator()
+	for _, x := range []bool{false, true} {
+		for _, y := range []bool{false, true} {
+			v, tm := c.Eval(map[Node]bool{a: x, b: y}, map[Node]int{a: 2})
+			e.SetInput(a, x, 2)
+			e.SetInput(b, y, 0)
+			e.Run()
+			if e.Value(out) != v[out] || e.Time(out) != tm[out] {
+				t.Errorf("evaluator diverged from Eval at (%v,%v)", x, y)
+			}
+			if e.Value(nand) != v[nand] {
+				t.Errorf("intermediate node diverged at (%v,%v)", x, y)
+			}
+		}
+	}
+}
+
+func TestEvaluatorReuse(t *testing.T) {
+	// Stale state from a previous Run must not leak into the next.
+	c := New()
+	a := c.Input()
+	out := c.Gate(OpNot, a)
+	e := c.NewEvaluator()
+	e.SetInput(a, true, 0)
+	e.Run()
+	first := e.Value(out)
+	e.SetInput(a, false, 0)
+	e.Run()
+	if e.Value(out) == first {
+		t.Error("evaluator did not update on reuse")
+	}
+}
+
+func TestOpStrings(t *testing.T) {
+	for _, op := range []Op{OpNot, OpAnd, OpOr, OpNand, OpNor, OpXor} {
+		if op.String() == "" {
+			t.Errorf("empty string for op %d", op)
+		}
+	}
+	if Op(99).String() == "" {
+		t.Error("unknown op should still format")
+	}
+}

@@ -1,0 +1,104 @@
+package markov
+
+import "fmt"
+
+// State identifies one state N[L, N, S] of the bus chain (paper
+// Fig. 3): L queued tasks, N ∈ {0,1} transmitting, S busy resources.
+type State struct {
+	L int // queued tasks
+	N int // tasks transmitting on the bus
+	S int // busy resources
+}
+
+// String renders the state in the paper's notation.
+func (s State) String() string { return fmt.Sprintf("N[%d,%d,%d]", s.L, s.N, s.S) }
+
+// Transition is one directed transition of the chain with its rate.
+type Transition struct {
+	From, To State
+	Rate     float64
+}
+
+// Describe enumerates every state and transition of the chain up to
+// maxLevel queued tasks — the machine-readable form of the paper's
+// Fig. 3 state-transition diagram, used by the structural tests and by
+// anyone wanting to inspect or export the chain.
+func Describe(p Params, maxLevel int) (states []State, transitions []Transition) {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	if maxLevel < 1 {
+		maxLevel = 1
+	}
+	r := p.R
+	_, a1, a2, b00, b01, b10 := blocks(p)
+	lam := p.TotalArrival()
+
+	// Decode the block state indexing into State values.
+	level0 := make([]State, 2*r+1)
+	for s := 0; s <= r; s++ {
+		level0[s] = State{L: 0, N: 0, S: s}
+	}
+	for s := 0; s < r; s++ {
+		level0[r+1+s] = State{L: 0, N: 1, S: s}
+	}
+	levelL := func(l int) []State {
+		ss := make([]State, r+1)
+		for s := 0; s < r; s++ {
+			ss[s] = State{L: l, N: 1, S: s}
+		}
+		ss[r] = State{L: l, N: 0, S: r}
+		return ss
+	}
+
+	states = append(states, level0...)
+	for l := 1; l <= maxLevel; l++ {
+		states = append(states, levelL(l)...)
+	}
+
+	emit := func(from, to State, rate float64) {
+		if rate > 0 && from != to {
+			transitions = append(transitions, Transition{From: from, To: to, Rate: rate})
+		}
+	}
+	l1 := levelL(1)
+	// Level-0 internal and level-0 → level-1.
+	for i, from := range level0 {
+		for j, to := range level0 {
+			if i != j {
+				emit(from, to, b00.At(i, j))
+			}
+		}
+		for j, to := range l1 {
+			emit(from, to, b01.At(i, j))
+		}
+	}
+	// Level-1 → level-0.
+	for i, from := range l1 {
+		for j, to := range level0 {
+			emit(from, to, b10.At(i, j))
+		}
+	}
+	// Levels ≥ 1: within-level (a1 off-diagonal), up (Λ), down (a2).
+	for l := 1; l <= maxLevel; l++ {
+		cur := levelL(l)
+		up := levelL(l + 1)
+		for i, from := range cur {
+			for j, to := range cur {
+				if i != j {
+					emit(from, to, a1.At(i, j))
+				}
+			}
+			if l < maxLevel {
+				emit(from, up[i], lam)
+			}
+			if l >= 2 {
+				down := levelL(l - 1)
+				for j, to := range down {
+					emit(from, to, a2.At(i, j))
+				}
+			}
+		}
+	}
+	return states, transitions
+}

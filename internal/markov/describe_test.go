@@ -1,0 +1,105 @@
+package markov
+
+import "testing"
+
+// TestFig3Structure asserts the transition structure of the paper's
+// Fig. 3 state diagram on a small chain (r = 2).
+func TestFig3Structure(t *testing.T) {
+	p := Params{P: 4, Lambda: 0.05, MuN: 1, MuS: 0.5, R: 2}
+	lam := p.TotalArrival()
+	states, trans := Describe(p, 3)
+
+	// State census: 2r+1 at level 0, r+1 per level above.
+	if got, want := len(states), (2*2+1)+3*(2+1); got != want {
+		t.Fatalf("states = %d, want %d", got, want)
+	}
+
+	rate := func(from, to State) float64 {
+		for _, tr := range trans {
+			if tr.From == from && tr.To == to {
+				return tr.Rate
+			}
+		}
+		return 0
+	}
+
+	checks := []struct {
+		from, to State
+		want     float64
+		why      string
+	}{
+		// Arrival into an empty idle system starts transmitting.
+		{State{0, 0, 0}, State{0, 1, 0}, lam, "arrival starts transmission"},
+		// Arrival with all resources busy queues (level 1, n=0, s=r).
+		{State{0, 0, 2}, State{1, 0, 2}, lam, "arrival queues when all busy"},
+		// Arrival during transmission queues.
+		{State{0, 1, 1}, State{1, 1, 1}, lam, "arrival during transmission queues"},
+		// Transmission completion with an empty queue idles the bus.
+		{State{0, 1, 0}, State{0, 0, 1}, p.MuN, "tx completion, empty queue"},
+		// Transmission completion with queued work and a free resource
+		// left starts the next transmission (l decreases).
+		{State{2, 1, 0}, State{1, 1, 1}, p.MuN, "tx completion chains next task"},
+		// Paper's special boundary: N[l,1,r−1] → N[l,0,r] — the bus is
+		// forced idle because the last resource was taken.
+		{State{2, 1, 1}, State{2, 0, 2}, p.MuN, "bus forced idle at s=r"},
+		// Service completion frees a resource (queue and bus untouched).
+		{State{2, 1, 1}, State{2, 1, 0}, 1 * p.MuS, "service completion, bus busy"},
+		// Service completion with the bus idle and a queue lets the
+		// head task transmit: N[l,0,r] → N[l−1,1,r−1].
+		{State{2, 0, 2}, State{1, 1, 1}, 2 * p.MuS, "service completion unblocks queue"},
+		// Idle-system service completion.
+		{State{0, 0, 2}, State{0, 0, 1}, 2 * p.MuS, "service completion, idle bus"},
+	}
+	for _, c := range checks {
+		if got := rate(c.from, c.to); got != c.want {
+			t.Errorf("%s: rate(%v → %v) = %g, want %g", c.why, c.from, c.to, got, c.want)
+		}
+	}
+
+	// No transition may create or destroy more than one unit of work,
+	// and s must stay within [0, r].
+	for _, tr := range trans {
+		if tr.To.S < 0 || tr.To.S > p.R || tr.From.S < 0 || tr.From.S > p.R {
+			t.Errorf("invalid resource count in %v → %v", tr.From, tr.To)
+		}
+		dl := tr.To.L - tr.From.L
+		if dl < -1 || dl > 1 {
+			t.Errorf("queue jump in %v → %v", tr.From, tr.To)
+		}
+	}
+
+	// Unreachable combinations must not appear: l ≥ 1 with an idle bus
+	// requires s = r (the bus only idles when every resource is busy).
+	for _, st := range states {
+		if st.L >= 1 && st.N == 0 && st.S != p.R {
+			t.Errorf("unreachable state %v enumerated", st)
+		}
+		if st.N == 1 && st.S == p.R {
+			t.Errorf("impossible state %v: transmission needs a reserved resource", st)
+		}
+	}
+}
+
+// TestDescribeRatesConserved: the total outflow rate of every
+// non-boundary state equals Λ + μn·[n=1] + s·μs.
+func TestDescribeRatesConserved(t *testing.T) {
+	p := Params{P: 2, Lambda: 0.1, MuN: 1, MuS: 0.3, R: 2}
+	_, trans := Describe(p, 4)
+	out := map[State]float64{}
+	for _, tr := range trans {
+		out[tr.From] += tr.Rate
+	}
+	lam := p.TotalArrival()
+	for st, got := range out {
+		if st.L >= 3 {
+			continue // top level lacks its up-transition by construction
+		}
+		want := lam + float64(st.S)*p.MuS
+		if st.N == 1 {
+			want += p.MuN
+		}
+		if diff := got - want; diff > 1e-12 || diff < -1e-12 {
+			t.Errorf("outflow of %v = %g, want %g", st, got, want)
+		}
+	}
+}

@@ -1,0 +1,220 @@
+package multireq
+
+import (
+	"testing"
+
+	"rsin/internal/omega"
+	"rsin/internal/rng"
+)
+
+// twoPortNet is the minimal deadlock plant: a single 2×2 interchange
+// box with one resource behind each port.
+func twoPortNet() *omega.Omega { return omega.New(2, 1) }
+
+// driveDeadlock runs the canonical circular-wait schedule: P0 and P1
+// each need both resources; P0 acquires first, then P1, then both
+// retry.
+func driveDeadlock(p *Pool) {
+	p.Submit(0, 2)
+	p.Submit(1, 2)
+	p.Step(0) // P0 grabs one resource
+	p.Step(1) // P1 grabs the other (hold-and-wait) or blocks (ordered)
+	// Both keep retrying; under hold-and-wait neither can progress.
+	for i := 0; i < 4; i++ {
+		p.Step(0)
+		p.Step(1)
+	}
+}
+
+func TestHoldAndWaitDeadlocks(t *testing.T) {
+	p := NewPool(twoPortNet(), HoldAndWait)
+	driveDeadlock(p)
+	if !p.Deadlocked() {
+		t.Fatal("hold-and-wait with circular wait should deadlock")
+	}
+	if p.Satisfied(0) || p.Satisfied(1) {
+		t.Fatal("no request should be satisfied in the deadlock")
+	}
+}
+
+func TestOrderedAvoidsDeadlock(t *testing.T) {
+	p := NewPool(twoPortNet(), OrderedAcquire)
+	p.Submit(0, 2)
+	p.Submit(1, 2)
+	// Round-robin stepping with completion: everything must finish.
+	done := 0
+	for iter := 0; iter < 100 && done < 2; iter++ {
+		for _, pid := range []int{0, 1} {
+			if p.reqs[pid] == nil {
+				continue
+			}
+			p.Step(pid)
+			if p.Satisfied(pid) {
+				p.Complete(pid)
+				done++
+			}
+		}
+		if p.Deadlocked() {
+			t.Fatal("ordered discipline deadlocked")
+		}
+	}
+	if done != 2 {
+		t.Fatalf("only %d of 2 ordered requests completed", done)
+	}
+}
+
+func TestReleaseAndRetryAvoidsDeadlockWithWaste(t *testing.T) {
+	p := NewPool(twoPortNet(), ReleaseAndRetry)
+	p.Submit(0, 2)
+	p.Submit(1, 2)
+	done := 0
+	for iter := 0; iter < 200 && done < 2; iter++ {
+		for _, pid := range []int{0, 1} {
+			if p.reqs[pid] == nil {
+				continue
+			}
+			p.Step(pid)
+			if p.Satisfied(pid) {
+				p.Complete(pid)
+				done++
+			}
+		}
+		if p.Deadlocked() {
+			t.Fatal("release-and-retry deadlocked")
+		}
+	}
+	if done != 2 {
+		t.Fatalf("only %d of 2 requests completed", done)
+	}
+	if p.Wasted() == 0 {
+		t.Error("expected wasted grants under contention (the overhead the paper warns about)")
+	}
+}
+
+func TestSingleResourceRequestsNeverDeadlock(t *testing.T) {
+	// The paper's studied case (one resource per request) is
+	// deadlock-free under any discipline.
+	for _, d := range []Discipline{HoldAndWait, OrderedAcquire, ReleaseAndRetry} {
+		p := NewPool(omega.New(4, 1), d)
+		for pid := 0; pid < 4; pid++ {
+			p.Submit(pid, 1)
+		}
+		for pid := 0; pid < 4; pid++ {
+			if !p.Step(pid) {
+				t.Fatalf("%v: single-resource request %d blocked on idle network", d, pid)
+			}
+			if !p.Satisfied(pid) {
+				t.Fatalf("%v: request %d unsatisfied", d, pid)
+			}
+			p.Complete(pid)
+		}
+		if p.Deadlocked() {
+			t.Fatalf("%v: deadlock with single-resource requests", d)
+		}
+	}
+}
+
+func TestDeadlockDetectorNegatives(t *testing.T) {
+	// Empty pool.
+	p := NewPool(twoPortNet(), HoldAndWait)
+	if p.Deadlocked() {
+		t.Error("empty pool deadlocked")
+	}
+	// One satisfied request.
+	p.Submit(0, 1)
+	p.Step(0)
+	if p.Deadlocked() {
+		t.Error("satisfied request reported as deadlock")
+	}
+	p.Complete(0)
+	// A single blocked holder is not circular wait.
+	net := twoPortNet()
+	q := NewPool(net, HoldAndWait)
+	q.Submit(0, 2)
+	q.Step(0)
+	// Occupy the second resource externally so P0 blocks.
+	g, ok := net.Acquire(1)
+	if !ok {
+		t.Fatal("external acquire failed")
+	}
+	net.ReleasePath(g)
+	q.Step(0)
+	if q.Deadlocked() {
+		t.Error("single blocked holder reported as deadlock")
+	}
+}
+
+func TestRandomizedDisciplineSoundness(t *testing.T) {
+	// On a larger network with mixed needs: ordered and
+	// release-and-retry always drain; hold-and-wait either drains or is
+	// detected as deadlocked (never hangs undetected).
+	src := rng.New(77)
+	for trial := 0; trial < 50; trial++ {
+		for _, d := range []Discipline{HoldAndWait, OrderedAcquire, ReleaseAndRetry} {
+			net := omega.New(8, 1)
+			p := NewPool(net, d)
+			n := 2 + src.Intn(3)
+			for pid := 0; pid < n; pid++ {
+				p.Submit(pid, 1+src.Intn(3))
+			}
+			drained := false
+			for iter := 0; iter < 500; iter++ {
+				progress := false
+				for pid := 0; pid < n; pid++ {
+					if p.reqs[pid] == nil {
+						continue
+					}
+					if p.Step(pid) {
+						progress = true
+					}
+					if p.Satisfied(pid) {
+						p.Complete(pid)
+						progress = true
+					}
+				}
+				if p.Outstanding() == 0 {
+					drained = true
+					break
+				}
+				if !progress && p.Deadlocked() {
+					break
+				}
+				if !progress && d != HoldAndWait {
+					t.Fatalf("%v: stalled without deadlock (trial %d)", d, trial)
+				}
+			}
+			if d != HoldAndWait && !drained {
+				t.Fatalf("%v: did not drain (trial %d)", d, trial)
+			}
+			if drained && p.Deadlocked() {
+				t.Fatalf("%v: drained pool reports deadlock", d)
+			}
+		}
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"bad need":   func() { NewPool(twoPortNet(), HoldAndWait).Submit(0, 0) },
+		"dup submit": func() { p := NewPool(twoPortNet(), HoldAndWait); p.Submit(0, 1); p.Submit(0, 1) },
+		"step stray": func() { NewPool(twoPortNet(), HoldAndWait).Step(3) },
+		"bad done":   func() { p := NewPool(twoPortNet(), HoldAndWait); p.Submit(0, 2); p.Complete(0) },
+		"need>ports": func() { NewPool(twoPortNet(), OrderedAcquire).Submit(0, 5) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		})
+	}
+}
+
+func TestDisciplineStrings(t *testing.T) {
+	if HoldAndWait.String() == "" || OrderedAcquire.String() != "ordered" ||
+		ReleaseAndRetry.String() == "" || Discipline(9).String() == "" {
+		t.Error("discipline strings wrong")
+	}
+}

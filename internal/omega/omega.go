@@ -1,0 +1,589 @@
+// Package omega implements the multistage-dynamic-network RSIN of paper
+// Section V: an N×N network of 2×2 interchange boxes whose distributed
+// control routes destination-less resource requests. The package is
+// named for its primary instance, Lawrie's Omega network, but the
+// paper's box algorithm "is applicable to other types of multistage
+// networks as well" — the wiring between stages is pluggable, and the
+// indirect binary n-cube of the paper's 16/1×16×16 CUBE/2 example is
+// provided alongside the Omega wiring.
+//
+// Topology. For N = 2^n, the network has n stages of N/2 interchange
+// boxes. A box can be set straight or exchange; two circuits may share
+// a box when they use distinct input and output lanes (the leftover
+// pairing is then forced, so per-wire occupancy fully captures
+// box-state conflicts). The wiring determines which wire positions a
+// stage's boxes pair and how output wires map to the next stage's
+// input positions.
+//
+// Distributed scheduling (paper Fig. 10). Status information flows
+// backward: each box output port carries a resource-availability bit —
+// whether at least one output port reachable downstream has a free bus
+// and a free resource. Requests flow forward: at each box the request
+// is switched toward an output lane whose wire is unoccupied and whose
+// availability bit is set; when no lane qualifies the request is
+// rejected back to the previous stage, which tries its alternate lane —
+// the reject/reroute mechanism of the paper. Because assumption (c)
+// makes status propagation instantaneous, the search is a depth-first
+// traversal whose dead-end descents are exactly the rejects the
+// hardware would generate.
+//
+// The package also provides address-mapped tag routing (the
+// conventional-network baseline of the paper's blocking-probability
+// comparison): a request directed at a specific output port follows the
+// unique path selected by the destination, and blocks if any wire on it
+// is busy.
+package omega
+
+import (
+	"fmt"
+	"math/bits"
+
+	"rsin/internal/core"
+	"rsin/internal/rng"
+)
+
+// LanePolicy selects the order in which a box offers its output lanes
+// to a request when both lanes qualify.
+type LanePolicy int
+
+const (
+	// LaneUpperFirst always tries the lower-indexed output wire first —
+	// a deterministic hardware priority.
+	LaneUpperFirst LanePolicy = iota
+	// LaneRandom picks the first lane uniformly at random, the
+	// randomized variant the paper suggests for avoiding undue conflict
+	// when synchronized requests enter together.
+	LaneRandom
+)
+
+// String returns the policy name.
+func (p LanePolicy) String() string {
+	switch p {
+	case LaneUpperFirst:
+		return "upper-first"
+	case LaneRandom:
+		return "random"
+	default:
+		return fmt.Sprintf("LanePolicy(%d)", int(p))
+	}
+}
+
+// Wiring selects the multistage interconnection pattern.
+type Wiring int
+
+const (
+	// OmegaWiring is Lawrie's Omega network: a perfect shuffle precedes
+	// every stage, and boxes pair adjacent wire positions.
+	OmegaWiring Wiring = iota
+	// CubeWiring is Pease's indirect binary n-cube: stage s pairs the
+	// wire positions that differ in bit s, with straight-through wiring
+	// between stages.
+	CubeWiring
+)
+
+// String returns the wiring's name as the paper writes it.
+func (w Wiring) String() string {
+	switch w {
+	case OmegaWiring:
+		return "OMEGA"
+	case CubeWiring:
+		return "CUBE"
+	default:
+		return fmt.Sprintf("Wiring(%d)", int(w))
+	}
+}
+
+// Omega is an N×N multistage RSIN with perPort resources behind each of
+// its N output ports.
+type Omega struct {
+	n       int // log2(N)
+	size    int // N
+	perPort int
+	policy  LanePolicy
+	wiring  Wiring
+	rnd     *rng.Source // used only by LaneRandom
+	reroute bool        // backtracking reroute enabled (ablation: off = reject to source)
+
+	portBusy []bool
+	free     []int
+	outOcc   [][]bool // [stage][wire] output-wire occupancy
+	// reach[s][w] is the bitmask of output ports statically reachable
+	// from the wire leaving stage s at position w.
+	reach [][]uint64
+	// snap, when non-nil, freezes the availability bits: routing
+	// decisions consult the snapshot instead of live state. Set during
+	// AcquireBatch to model the paper's two-phase operation, where
+	// phase-2 requests propagate against possibly outdated phase-1
+	// status.
+	snap [][]bool
+
+	tel core.Telemetry
+}
+
+// Option configures a network.
+type Option func(*Omega)
+
+// WithLanePolicy sets the lane-preference policy (default LaneUpperFirst).
+func WithLanePolicy(p LanePolicy) Option { return func(o *Omega) { o.policy = p } }
+
+// WithSeed seeds the internal generator used by LaneRandom.
+func WithSeed(seed uint64) Option { return func(o *Omega) { o.rnd = rng.New(seed) } }
+
+// WithoutReroute disables in-network rerouting: a rejected request
+// fails immediately instead of backtracking to try alternate paths.
+// Used by the reroute-policy ablation.
+func WithoutReroute() Option { return func(o *Omega) { o.reroute = false } }
+
+// WithWiring selects the interconnection pattern (default OmegaWiring).
+func WithWiring(w Wiring) Option { return func(o *Omega) { o.wiring = w } }
+
+// New returns an N×N multistage RSIN with perPort resources per output
+// port. N must be a power of two with 2 ≤ N ≤ 64 (the reach sets are
+// 64-bit masks; the paper's systems are at most 16×16).
+func New(n, perPort int, opts ...Option) *Omega {
+	if n < 2 || n > 64 || n&(n-1) != 0 {
+		panic(fmt.Sprintf("omega: size %d is not a power of two in [2,64]", n))
+	}
+	if perPort <= 0 {
+		panic("omega: perPort must be positive")
+	}
+	stages := bits.Len(uint(n)) - 1
+	o := &Omega{
+		n:        stages,
+		size:     n,
+		perPort:  perPort,
+		policy:   LaneUpperFirst,
+		wiring:   OmegaWiring,
+		rnd:      rng.New(0x0177e6a5),
+		reroute:  true,
+		portBusy: make([]bool, n),
+		free:     make([]int, n),
+		outOcc:   make([][]bool, stages),
+	}
+	for i := range o.free {
+		o.free[i] = perPort
+	}
+	for s := range o.outOcc {
+		o.outOcc[s] = make([]bool, n)
+	}
+	for _, opt := range opts {
+		opt(o)
+	}
+	o.buildReach()
+	return o
+}
+
+// NewCube returns an indirect-binary-n-cube RSIN (the paper's CUBE
+// configuration), equivalent to New with WithWiring(CubeWiring).
+func NewCube(n, perPort int, opts ...Option) *Omega {
+	return New(n, perPort, append([]Option{WithWiring(CubeWiring)}, opts...)...)
+}
+
+// shuffle is the perfect shuffle: rotate the n-bit wire index left by 1.
+func (o *Omega) shuffle(pos int) int {
+	return (pos<<1 | pos>>(o.n-1)) & (o.size - 1)
+}
+
+// entry returns the stage-0 input wire position of processor pid.
+func (o *Omega) entry(pid int) int {
+	switch o.wiring {
+	case OmegaWiring:
+		return o.shuffle(pid)
+	case CubeWiring:
+		return pid
+	default:
+		panic("omega: unknown wiring")
+	}
+}
+
+// pair returns the other wire of the box that owns input/output wire
+// pos at stage s. A box's two input wires and two output wires carry
+// the same pair of position indices: straight keeps the index, exchange
+// swaps to the partner.
+func (o *Omega) pair(s, pos int) int {
+	switch o.wiring {
+	case OmegaWiring:
+		return pos ^ 1
+	case CubeWiring:
+		return pos ^ (1 << s)
+	default:
+		panic("omega: unknown wiring")
+	}
+}
+
+// next maps an output wire of stage s to the input position of stage
+// s+1.
+func (o *Omega) next(s, pos int) int {
+	switch o.wiring {
+	case OmegaWiring:
+		return o.shuffle(pos)
+	case CubeWiring:
+		return pos
+	default:
+		panic("omega: unknown wiring")
+	}
+}
+
+// buildReach precomputes, for every stage-output wire, the bitmask of
+// network output ports statically reachable downstream.
+func (o *Omega) buildReach() {
+	o.reach = make([][]uint64, o.n)
+	// Last stage: wire w IS output port w.
+	o.reach[o.n-1] = make([]uint64, o.size)
+	for w := 0; w < o.size; w++ {
+		o.reach[o.n-1][w] = 1 << uint(w)
+	}
+	for s := o.n - 2; s >= 0; s-- {
+		o.reach[s] = make([]uint64, o.size)
+		for w := 0; w < o.size; w++ {
+			in := o.next(s, w)
+			o.reach[s][w] = o.reach[s+1][in] | o.reach[s+1][o.pair(s+1, in)]
+		}
+	}
+}
+
+// portEligible reports whether output port j can accept a new request:
+// bus free and at least one free resource (the paper's Y signal).
+func (o *Omega) portEligible(j int) bool {
+	return !o.portBusy[j] && o.free[j] > 0
+}
+
+// eligibleMask returns the bitmask of currently eligible output ports.
+func (o *Omega) eligibleMask() uint64 {
+	var m uint64
+	for j := 0; j < o.size; j++ {
+		if o.portEligible(j) {
+			m |= 1 << uint(j)
+		}
+	}
+	return m
+}
+
+// avail is the availability bit of the wire leaving stage s at position
+// w: whether any reachable output port is eligible. This is the
+// backward-propagated status register content of the paper's Fig. 9/10
+// boxes — live under instantaneous propagation (assumption (c)), or the
+// frozen phase-1 value during AcquireBatch.
+func (o *Omega) avail(s, w int) bool {
+	if o.snap != nil {
+		return o.snap[s][w]
+	}
+	return o.reach[s][w]&o.eligibleMask() != 0
+}
+
+// pathGrant records the claimed wires, innermost (last stage) first.
+type pathGrant struct {
+	wires []int
+}
+
+// Acquire implements core.Network: route a destination-less request
+// from processor pid to any eligible output port, using
+// availability-guided switching with reject/backtrack.
+func (o *Omega) Acquire(pid int) (core.Grant, bool) {
+	if pid < 0 || pid >= o.size {
+		panic(fmt.Sprintf("omega: processor %d out of range", pid))
+	}
+	o.tel.Attempts++
+	if o.eligibleMask() == 0 {
+		// Phase-1 status already tells the processor to stay queued.
+		o.tel.Failures++
+		o.tel.ResourceBlock++
+		return core.Grant{}, false
+	}
+	wires := make([]int, 0, o.n)
+	port, ok := o.route(0, o.entry(pid), &wires)
+	if !ok {
+		o.tel.Failures++
+		o.tel.PathBlock++
+		return core.Grant{}, false
+	}
+	o.portBusy[port] = true
+	o.free[port]--
+	o.tel.Grants++
+	return core.Grant{Processor: pid, Port: port, Path: pathGrant{wires: wires}}, true
+}
+
+// route performs the availability-guided DFS from the input wire at
+// position pos of stage s. On success it claims the wires it used,
+// appends them to *wires (last stage first), and returns the output
+// port.
+func (o *Omega) route(s, pos int, wires *[]int) (int, bool) {
+	o.tel.BoxVisits++
+	outs := [2]int{pos, o.pair(s, pos)}
+	if outs[0] > outs[1] {
+		outs[0], outs[1] = outs[1], outs[0]
+	}
+	first := 0
+	if o.policy == LaneRandom {
+		first = o.rnd.Intn(2)
+	}
+	for k := 0; k < 2; k++ {
+		out := outs[first^k]
+		if o.outOcc[s][out] {
+			continue
+		}
+		if s == o.n-1 {
+			// out is an output port.
+			if !o.portEligible(out) {
+				continue
+			}
+			o.outOcc[s][out] = true
+			*wires = append(*wires, out)
+			return out, true
+		}
+		if !o.avail(s, out) {
+			continue
+		}
+		o.outOcc[s][out] = true
+		port, ok := o.route(s+1, o.next(s, out), wires)
+		if ok {
+			*wires = append(*wires, out)
+			return port, true
+		}
+		// Downstream dead end: a reject signal travels back and this
+		// box re-examines the request for its alternate lane (or
+		// propagates the reject). The re-examination is a real
+		// traversal of this box's control logic, so it counts as a
+		// box visit — giving the paper's 3.5-boxes-per-request average
+		// in the Fig. 11 example.
+		o.outOcc[s][out] = false
+		o.tel.Rejects++
+		o.tel.BoxVisits++
+		if !o.reroute {
+			return 0, false
+		}
+	}
+	return 0, false
+}
+
+// AcquireBatch routes a set of simultaneous requests with the paper's
+// two-phase operation (Fig. 11): phase 1 propagates the status of the
+// resources back through the boxes and freezes the availability
+// registers; phase 2 propagates all the requests against that frozen —
+// and progressively outdated — status. Wrong decisions therefore occur
+// exactly as in the paper: a request can chase a resource that a
+// concurrent request has just claimed, be rejected, and reroute.
+//
+// The returned slices are parallel to pids; ok[i] reports whether
+// request i was granted.
+func (o *Omega) AcquireBatch(pids []int) ([]core.Grant, []bool) {
+	// Phase 1: snapshot the availability registers.
+	snap := make([][]bool, o.n)
+	for s := range snap {
+		snap[s] = make([]bool, o.size)
+		for w := 0; w < o.size; w++ {
+			snap[s][w] = o.avail(s, w)
+		}
+	}
+	o.snap = snap
+	defer func() { o.snap = nil }()
+
+	grants := make([]core.Grant, len(pids))
+	oks := make([]bool, len(pids))
+	for i, pid := range pids {
+		grants[i], oks[i] = o.acquireStale(pid)
+	}
+	return grants, oks
+}
+
+// acquireStale is Acquire with the availability shortcut evaluated from
+// the frozen snapshot (the processor submitted because phase-1 status
+// said resources exist).
+func (o *Omega) acquireStale(pid int) (core.Grant, bool) {
+	o.tel.Attempts++
+	anyAvail := false
+	for w := 0; w < o.size; w++ {
+		if o.snap[o.n-1][w] {
+			anyAvail = true
+			break
+		}
+	}
+	if !anyAvail {
+		o.tel.Failures++
+		o.tel.ResourceBlock++
+		return core.Grant{}, false
+	}
+	wires := make([]int, 0, o.n)
+	port, ok := o.route(0, o.entry(pid), &wires)
+	if !ok {
+		o.tel.Failures++
+		o.tel.PathBlock++
+		return core.Grant{}, false
+	}
+	o.portBusy[port] = true
+	o.free[port]--
+	o.tel.Grants++
+	return core.Grant{Processor: pid, Port: port, Path: pathGrant{wires: wires}}, true
+}
+
+// AcquireTag routes a request from pid to the specific output port dst
+// using conventional destination-tag routing (the address-mapping
+// baseline): the path is unique, and the request blocks if any wire on
+// it is occupied or the port is ineligible. On success the path and one
+// resource are claimed exactly as in Acquire. The routing decision at
+// each box is generic over the wiring: the request exits through the
+// output wire whose static reach set contains dst.
+func (o *Omega) AcquireTag(pid, dst int) (core.Grant, bool) {
+	if pid < 0 || pid >= o.size || dst < 0 || dst >= o.size {
+		panic("omega: AcquireTag index out of range")
+	}
+	o.tel.Attempts++
+	if !o.portEligible(dst) {
+		o.tel.Failures++
+		o.tel.ResourceBlock++
+		return core.Grant{}, false
+	}
+	wires := make([]int, 0, o.n)
+	pos := o.entry(pid)
+	dstBit := uint64(1) << uint(dst)
+	for s := 0; s < o.n; s++ {
+		o.tel.BoxVisits++
+		out := pos
+		if o.reach[s][out]&dstBit == 0 {
+			out = o.pair(s, pos)
+		}
+		if o.reach[s][out]&dstBit == 0 {
+			panic("omega: destination unreachable (wiring bug)")
+		}
+		if o.outOcc[s][out] {
+			// Tag routing cannot reroute: the request is blocked.
+			for i, w := range wires {
+				o.outOcc[i][w] = false
+			}
+			o.tel.Failures++
+			o.tel.PathBlock++
+			return core.Grant{}, false
+		}
+		o.outOcc[s][out] = true
+		wires = append(wires, out)
+		pos = o.next(s, out)
+	}
+	port := wires[o.n-1]
+	if port != dst {
+		panic("omega: tag routing reached wrong port")
+	}
+	o.portBusy[port] = true
+	o.free[port]--
+	o.tel.Grants++
+	return core.Grant{Processor: pid, Port: port, Path: pathGrant{wires: reverseCopy(wires)}}, true
+}
+
+func reverseCopy(w []int) []int {
+	r := make([]int, len(w))
+	for i, v := range w {
+		r[len(w)-1-i] = v
+	}
+	return r
+}
+
+// ReleasePath implements core.Network: free the circuit's wires and the
+// output bus; the resource keeps serving.
+func (o *Omega) ReleasePath(g core.Grant) {
+	pg := g.Path.(pathGrant)
+	// wires were appended innermost-first: wires[0] is the last stage.
+	for i, w := range pg.wires {
+		s := o.n - 1 - i
+		if !o.outOcc[s][w] {
+			panic("omega: ReleasePath on free wire")
+		}
+		o.outOcc[s][w] = false
+	}
+	if !o.portBusy[g.Port] {
+		panic("omega: ReleasePath with idle port")
+	}
+	o.portBusy[g.Port] = false
+}
+
+// ReleaseResource implements core.Network.
+func (o *Omega) ReleaseResource(g core.Grant) {
+	if o.free[g.Port] >= o.perPort {
+		panic("omega: ReleaseResource overflow")
+	}
+	o.free[g.Port]++
+}
+
+// Processors implements core.Network.
+func (o *Omega) Processors() int { return o.size }
+
+// Ports implements core.Network.
+func (o *Omega) Ports() int { return o.size }
+
+// TotalResources implements core.Network.
+func (o *Omega) TotalResources() int { return o.size * o.perPort }
+
+// Name implements core.Network.
+func (o *Omega) Name() string {
+	return fmt.Sprintf("%s(%dx%d,r=%d)", o.wiring, o.size, o.size, o.perPort)
+}
+
+// Telemetry implements core.TelemetrySource.
+func (o *Omega) Telemetry() core.Telemetry { return o.tel }
+
+// Stages returns the number of interchange-box stages (log2 N).
+func (o *Omega) Stages() int { return o.n }
+
+// EntryWire returns the stage-0 input wire position of processor pid.
+// Together with BoxOutputs and NextInput it exposes the wire-level DAG
+// for external schedulers (e.g. the max-flow optimal allocator).
+func (o *Omega) EntryWire(pid int) int { return o.entry(pid) }
+
+// BoxOutputs returns the two candidate output wires of the box entered
+// at input wire pos of stage s.
+func (o *Omega) BoxOutputs(s, pos int) [2]int {
+	a, b := pos, o.pair(s, pos)
+	if a > b {
+		a, b = b, a
+	}
+	return [2]int{a, b}
+}
+
+// NextInput maps an output wire of stage s to the input position of
+// stage s+1.
+func (o *Omega) NextInput(s, pos int) int { return o.next(s, pos) }
+
+// WireOccupied reports whether the output wire at position w of stage s
+// currently carries a circuit.
+func (o *Omega) WireOccupied(s, w int) bool { return o.outOcc[s][w] }
+
+// PortEligible reports whether output port j can accept a new request
+// (bus free and at least one free resource) — the paper's Y signal.
+func (o *Omega) PortEligible(j int) bool { return o.portEligible(j) }
+
+// WiringKind returns the network's interconnection pattern.
+func (o *Omega) WiringKind() Wiring { return o.wiring }
+
+// Reset clears all dynamic state (circuits, reservations, telemetry),
+// returning the network to cold-start. Used by the static blocking
+// experiments that evaluate many independent request sets.
+func (o *Omega) Reset() {
+	for i := range o.portBusy {
+		o.portBusy[i] = false
+		o.free[i] = o.perPort
+	}
+	for s := range o.outOcc {
+		for w := range o.outOcc[s] {
+			o.outOcc[s][w] = false
+		}
+	}
+	o.tel = core.Telemetry{}
+}
+
+// SetResourceAvailability overrides the free-resource count of port j
+// (clamped to [0, perPort]). The static blocking experiments use it to
+// impose the paper's "resources 0, 1, 2 are available, others busy"
+// scenarios.
+func (o *Omega) SetResourceAvailability(j, freeCount int) {
+	if freeCount < 0 {
+		freeCount = 0
+	}
+	if freeCount > o.perPort {
+		freeCount = o.perPort
+	}
+	o.free[j] = freeCount
+}
+
+// FreeResources returns the current free-resource count at port j.
+func (o *Omega) FreeResources(j int) int { return o.free[j] }
+
+var _ core.Network = (*Omega)(nil)
+var _ core.TelemetrySource = (*Omega)(nil)

@@ -1,0 +1,125 @@
+// Package queueing provides the closed-form queueing formulas the paper
+// uses as degenerate-case baselines for the single shared bus (Section
+// III): the M/M/1 queue (bus-bound limit: transmission dominates and
+// resources are plentiful) and the M/M/r queue (resource-bound limit:
+// the bus overhead is negligible). It also defines the paper's
+// normalized traffic intensity ρ and the delay normalization used in
+// Figs. 4–13.
+package queueing
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrUnstable is returned when a queue's utilization is ≥ 1 so no
+// steady state exists.
+var ErrUnstable = errors.New("queueing: system is unstable (utilization >= 1)")
+
+// MM1WaitingTime returns the mean time in queue (excluding service) for
+// an M/M/1 queue with arrival rate lambda and service rate mu:
+// Wq = ρ/(μ−λ) with ρ = λ/μ.
+func MM1WaitingTime(lambda, mu float64) (float64, error) {
+	if lambda < 0 || mu <= 0 {
+		return 0, errors.New("queueing: rates must be positive")
+	}
+	rho := lambda / mu
+	if rho >= 1 {
+		return 0, ErrUnstable
+	}
+	return rho / (mu - lambda), nil
+}
+
+// MM1ResponseTime returns the mean time in system for an M/M/1 queue.
+func MM1ResponseTime(lambda, mu float64) (float64, error) {
+	wq, err := MM1WaitingTime(lambda, mu)
+	if err != nil {
+		return 0, err
+	}
+	return wq + 1/mu, nil
+}
+
+// ErlangC returns the probability that an arriving customer must wait in
+// an M/M/c queue with offered load a = λ/μ and c servers.
+func ErlangC(c int, a float64) (float64, error) {
+	if c <= 0 || a < 0 {
+		return 0, errors.New("queueing: invalid Erlang-C parameters")
+	}
+	if a >= float64(c) {
+		return 0, ErrUnstable
+	}
+	// Compute iteratively in log-free form to avoid overflow:
+	// B(0)=1; B(k) = a·B(k−1)/(k + a·B(k−1)) is Erlang-B recursion,
+	// then C = B/(1 − ρ(1−B)).
+	b := 1.0
+	for k := 1; k <= c; k++ {
+		b = a * b / (float64(k) + a*b)
+	}
+	rho := a / float64(c)
+	return b / (1 - rho*(1-b)), nil
+}
+
+// MMcWaitingTime returns the mean time in queue for an M/M/c queue with
+// arrival rate lambda and per-server service rate mu.
+func MMcWaitingTime(lambda, mu float64, c int) (float64, error) {
+	if mu <= 0 {
+		return 0, errors.New("queueing: service rate must be positive")
+	}
+	a := lambda / mu
+	pw, err := ErlangC(c, a)
+	if err != nil {
+		return 0, err
+	}
+	return pw / (float64(c)*mu - lambda), nil
+}
+
+// MMcResponseTime returns the mean time in system for an M/M/c queue.
+func MMcResponseTime(lambda, mu float64, c int) (float64, error) {
+	wq, err := MMcWaitingTime(lambda, mu, c)
+	if err != nil {
+		return 0, err
+	}
+	return wq + 1/mu, nil
+}
+
+// TrafficIntensity returns the paper's normalized traffic intensity for
+// a system of p processors with per-processor arrival rate λ, total
+// resource count totalRes, transmission rate μn and service rate μs:
+//
+//	ρ = p·λ·( 1/(p·μn) + 1/(totalRes·μs) )
+//
+// i.e. the utilization of a hypothetical single bus of rate p·μn feeding
+// a single resource of rate totalRes·μs (Section III, Figs. 4–5).
+func TrafficIntensity(p int, lambda, muN, muS float64, totalRes int) float64 {
+	return float64(p) * lambda * (1/(float64(p)*muN) + 1/(float64(totalRes)*muS))
+}
+
+// LambdaForIntensity inverts TrafficIntensity: it returns the
+// per-processor arrival rate λ that produces traffic intensity rho.
+func LambdaForIntensity(rho float64, p int, muN, muS float64, totalRes int) float64 {
+	denom := float64(p) * (1/(float64(p)*muN) + 1/(float64(totalRes)*muS))
+	return rho / denom
+}
+
+// NormalizeDelay converts a raw queueing delay d into the paper's
+// normalized delay d·μs (delay in units of mean service time).
+func NormalizeDelay(d, muS float64) float64 { return d * muS }
+
+// LittleL returns the mean number in system via Little's law L = λ·W.
+func LittleL(lambda, w float64) float64 { return lambda * w }
+
+// SaturationIntensity returns the traffic intensity at which a
+// configuration with k partitions saturates, assuming each partition is
+// a single bus serving p/k processors with R/k resources. The partition
+// saturates when either its bus (rate μn) or its resource pool
+// (rate (R/k)·μs) is fully utilized by the partition's arrival stream
+// (p/k)·λ; the binding constraint is the smaller capacity.
+func SaturationIntensity(p, totalRes, k int, muN, muS float64) float64 {
+	pPart := float64(p) / float64(k)
+	rPart := float64(totalRes) / float64(k)
+	// λ limits: bus: pPart·λ < μn ; resources: pPart·λ < rPart·μs.
+	lamBus := muN / pPart
+	lamRes := rPart * muS / pPart
+	lam := math.Min(lamBus, lamRes)
+	return TrafficIntensity(p, lam, muN, muS, totalRes)
+}

@@ -1,0 +1,178 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func close(a, b, tol float64) bool { return math.Abs(a-b) <= tol*math.Max(math.Abs(a), math.Abs(b)) }
+
+func TestMM1Known(t *testing.T) {
+	// λ=0.5, μ=1: ρ=0.5, Wq = 0.5/(1−0.5)/1 = 1.
+	wq, err := MM1WaitingTime(0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !close(wq, 1, 1e-12) {
+		t.Errorf("Wq = %v, want 1", wq)
+	}
+	w, err := MM1ResponseTime(0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !close(w, 2, 1e-12) {
+		t.Errorf("W = %v, want 2", w)
+	}
+}
+
+func TestMM1Unstable(t *testing.T) {
+	if _, err := MM1WaitingTime(1, 1); err != ErrUnstable {
+		t.Errorf("err = %v, want ErrUnstable", err)
+	}
+	if _, err := MM1WaitingTime(2, 1); err != ErrUnstable {
+		t.Errorf("err = %v, want ErrUnstable", err)
+	}
+}
+
+func TestMM1InvalidRates(t *testing.T) {
+	if _, err := MM1WaitingTime(-1, 1); err == nil {
+		t.Error("negative lambda accepted")
+	}
+	if _, err := MM1WaitingTime(1, 0); err == nil {
+		t.Error("zero mu accepted")
+	}
+}
+
+func TestErlangCSingleServerIsRho(t *testing.T) {
+	// With c=1, the Erlang-C waiting probability equals ρ.
+	if err := quick.Check(func(x uint8) bool {
+		rho := float64(x%99+1) / 100
+		pw, err := ErlangC(1, rho)
+		return err == nil && close(pw, rho, 1e-10)
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestErlangCKnownValue(t *testing.T) {
+	// Classic table value: c=2, a=1 → C = 1/3.
+	pw, err := ErlangC(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !close(pw, 1.0/3.0, 1e-9) {
+		t.Errorf("ErlangC(2,1) = %v, want 1/3", pw)
+	}
+}
+
+func TestMMcReducesToMM1(t *testing.T) {
+	wq1, err1 := MM1WaitingTime(0.7, 1)
+	wqc, errc := MMcWaitingTime(0.7, 1, 1)
+	if err1 != nil || errc != nil {
+		t.Fatal(err1, errc)
+	}
+	if !close(wq1, wqc, 1e-10) {
+		t.Errorf("M/M/1 via both paths: %v vs %v", wq1, wqc)
+	}
+}
+
+func TestMMcUnstable(t *testing.T) {
+	if _, err := MMcWaitingTime(2, 1, 2); err != ErrUnstable {
+		t.Errorf("err = %v, want ErrUnstable", err)
+	}
+}
+
+func TestMMcMoreServersLessWaiting(t *testing.T) {
+	prev := math.Inf(1)
+	for c := 1; c <= 8; c++ {
+		wq, err := MMcWaitingTime(0.9, 1, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wq >= prev {
+			t.Errorf("c=%d: Wq %v not below %v", c, wq, prev)
+		}
+		prev = wq
+	}
+}
+
+func TestResponseTimeErrorPaths(t *testing.T) {
+	if _, err := MM1ResponseTime(2, 1); err != ErrUnstable {
+		t.Errorf("MM1ResponseTime overload: %v", err)
+	}
+	if _, err := MMcResponseTime(5, 1, 2); err != ErrUnstable {
+		t.Errorf("MMcResponseTime overload: %v", err)
+	}
+	w, err := MMcResponseTime(0.5, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wq, _ := MMcWaitingTime(0.5, 1, 2)
+	if w != wq+1 {
+		t.Errorf("MMcResponseTime %v != Wq+1/μ %v", w, wq+1)
+	}
+}
+
+func TestErlangCInvalid(t *testing.T) {
+	if _, err := ErlangC(0, 1); err == nil {
+		t.Error("c=0 accepted")
+	}
+	if _, err := ErlangC(2, -1); err == nil {
+		t.Error("negative load accepted")
+	}
+	if _, err := MMcWaitingTime(1, 0, 2); err == nil {
+		t.Error("zero service rate accepted")
+	}
+}
+
+func TestTrafficIntensityPaperDefinition(t *testing.T) {
+	// ρ = 16λ(1/(16μn) + 1/(32μs)) for the canonical 16-processor,
+	// 32-resource plant of Figs. 4–13.
+	lam, muN, muS := 0.05, 1.0, 0.1
+	got := TrafficIntensity(16, lam, muN, muS, 32)
+	want := 16 * lam * (1/(16*muN) + 1/(32*muS))
+	if !close(got, want, 1e-12) {
+		t.Errorf("rho = %v, want %v", got, want)
+	}
+}
+
+func TestLambdaForIntensityRoundTrip(t *testing.T) {
+	if err := quick.Check(func(x uint8) bool {
+		rho := float64(x%90+1) / 100
+		lam := LambdaForIntensity(rho, 16, 1, 0.1, 32)
+		back := TrafficIntensity(16, lam, 1, 0.1, 32)
+		return close(back, rho, 1e-10)
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalizeDelay(t *testing.T) {
+	if got := NormalizeDelay(2.5, 0.4); !close(got, 1.0, 1e-12) {
+		t.Errorf("NormalizeDelay = %v, want 1", got)
+	}
+}
+
+func TestLittleL(t *testing.T) {
+	if got := LittleL(2, 3); got != 6 {
+		t.Errorf("LittleL = %v, want 6", got)
+	}
+}
+
+func TestSaturationIntensity(t *testing.T) {
+	// One partition, 16 processors, 32 resources, μs/μn = 0.1: the bus
+	// (capacity μn = 1 vs pool 3.2) binds; λ* = 1/16 and
+	// ρ* = 1·(1) + 16·(1/16)/(3.2) … computed via TrafficIntensity.
+	got := SaturationIntensity(16, 32, 1, 1, 0.1)
+	lamStar := 1.0 / 16
+	want := TrafficIntensity(16, lamStar, 1, 0.1, 32)
+	if !close(got, want, 1e-12) {
+		t.Errorf("saturation rho = %v, want %v", got, want)
+	}
+	// More partitions raise the naive saturation point when the bus
+	// binds.
+	if SaturationIntensity(16, 32, 2, 1, 0.1) <= got {
+		t.Error("partitioning should relieve the shared-bus bottleneck")
+	}
+}

@@ -1,0 +1,128 @@
+package sched
+
+import (
+	"rsin/internal/omega"
+)
+
+// OptimalAllocation computes, in polynomial time, the maximum number of
+// the given requests that can be connected simultaneously to the given
+// free output ports of the multistage network — the optimal scheduling
+// problem the paper defers to its reference [35] (Juang & Wah).
+//
+// The reduction: build a unit-capacity flow network over the wire-level
+// DAG (source → requesting processors → stage-0 box outputs → … →
+// final-stage outputs = eligible ports → sink). Any integral flow
+// decomposes into wire-disjoint paths, and wire-disjoint circuits are
+// exactly the compatible ones (two circuits may share a 2×2 box when
+// they use distinct input and output wires, and wire capacities enforce
+// that). The maximum flow therefore equals the maximum simultaneous
+// allocation; it is computed with BFS augmentation (Edmonds–Karp),
+// polynomial in the network size — versus the (x choose y)·y!
+// enumeration of the naive centralized scheduler.
+//
+// Wires already occupied by existing circuits have zero capacity, so
+// the allocator composes with a partially loaded network. dsts lists
+// the ports to consider (they must currently be eligible to count).
+func OptimalAllocation(o *omega.Omega, pids, dsts []int) int {
+	n := o.Ports()
+	stages := o.Stages()
+	// Node numbering: 0 = source, 1 = sink, 2..2+p-1 = processors,
+	// then per (stage, wire) a split pair (in, out).
+	src, sink := 0, 1
+	procBase := 2
+	wireIn := func(s, w int) int { return procBase + len(pids) + 2*(s*n+w) }
+	wireOut := func(s, w int) int { return wireIn(s, w) + 1 }
+	numNodes := procBase + len(pids) + 2*stages*n
+
+	g := newFlowGraph(numNodes)
+	for i, pid := range pids {
+		g.addEdge(src, procBase+i, 1)
+		in := o.EntryWire(pid)
+		for _, w := range o.BoxOutputs(0, in) {
+			if !o.WireOccupied(0, w) {
+				g.addEdge(procBase+i, wireIn(0, w), 1)
+			}
+		}
+	}
+	for s := 0; s < stages; s++ {
+		for w := 0; w < n; w++ {
+			if o.WireOccupied(s, w) {
+				continue
+			}
+			g.addEdge(wireIn(s, w), wireOut(s, w), 1)
+			if s == stages-1 {
+				continue // connected to the sink below if eligible
+			}
+			next := o.NextInput(s, w)
+			for _, w2 := range o.BoxOutputs(s+1, next) {
+				if !o.WireOccupied(s+1, w2) {
+					g.addEdge(wireOut(s, w), wireIn(s+1, w2), 1)
+				}
+			}
+		}
+	}
+	for _, d := range dsts {
+		if o.PortEligible(d) && !o.WireOccupied(stages-1, d) {
+			g.addEdge(wireOut(stages-1, d), sink, 1)
+		}
+	}
+	return g.maxFlow(src, sink)
+}
+
+// flowGraph is a small adjacency-list residual graph for unit-capacity
+// max flow.
+type flowGraph struct {
+	adj [][]int // node → edge indices
+	to  []int
+	cap []int
+}
+
+func newFlowGraph(nodes int) *flowGraph {
+	return &flowGraph{adj: make([][]int, nodes)}
+}
+
+// addEdge inserts a directed edge and its zero-capacity residual twin.
+func (g *flowGraph) addEdge(from, to, capacity int) {
+	g.adj[from] = append(g.adj[from], len(g.to))
+	g.to = append(g.to, to)
+	g.cap = append(g.cap, capacity)
+	g.adj[to] = append(g.adj[to], len(g.to))
+	g.to = append(g.to, from)
+	g.cap = append(g.cap, 0)
+}
+
+// maxFlow runs Edmonds–Karp (BFS augmenting paths). All capacities are
+// 0/1, so each augmentation adds one unit.
+func (g *flowGraph) maxFlow(src, sink int) int {
+	flow := 0
+	parentEdge := make([]int, len(g.adj))
+	for {
+		for i := range parentEdge {
+			parentEdge[i] = -1
+		}
+		parentEdge[src] = -2
+		queue := []int{src}
+		for len(queue) > 0 && parentEdge[sink] == -1 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, e := range g.adj[u] {
+				v := g.to[e]
+				if g.cap[e] > 0 && parentEdge[v] == -1 {
+					parentEdge[v] = e
+					queue = append(queue, v)
+				}
+			}
+		}
+		if parentEdge[sink] == -1 {
+			return flow
+		}
+		// Augment by one unit along the found path.
+		for v := sink; v != src; {
+			e := parentEdge[v]
+			g.cap[e]--
+			g.cap[e^1]++
+			v = g.to[e^1]
+		}
+		flow++
+	}
+}

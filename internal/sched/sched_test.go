@@ -1,0 +1,246 @@
+package sched
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rsin/internal/omega"
+	"rsin/internal/rng"
+)
+
+func TestPriorityCircuitCorrectness(t *testing.T) {
+	for _, m := range []int{1, 2, 3, 7, 8, 16, 33} {
+		pc := NewPriorityCircuit(m)
+		src := rng.New(uint64(m))
+		for trial := 0; trial < 200; trial++ {
+			free := make([]bool, m)
+			want := -1
+			for i := range free {
+				free[i] = src.Intn(3) == 0
+				if free[i] && want == -1 {
+					want = i
+				}
+			}
+			idx, ok, _ := pc.Select(free)
+			if (want == -1) == ok {
+				t.Fatalf("m=%d: ok=%v with want=%d", m, ok, want)
+			}
+			if ok && idx != want {
+				t.Fatalf("m=%d: idx=%d, want %d (free=%v)", m, idx, want, free)
+			}
+		}
+	}
+}
+
+// TestPriorityCircuitLogDepth checks the paper's [34] claim: the
+// first-free search settles in O(log₂ m) gate delays.
+func TestPriorityCircuitLogDepth(t *testing.T) {
+	for _, m := range []int{2, 4, 8, 16, 32, 64, 128} {
+		pc := NewPriorityCircuit(m)
+		free := make([]bool, m)
+		free[m-1] = true // worst case: winner at the far end
+		_, _, delay := pc.Select(free)
+		bound := pc.Depth()
+		if delay > bound {
+			t.Errorf("m=%d: delay %d exceeds structural bound %d", m, delay, bound)
+		}
+		if logBound := 2*int(math.Ceil(math.Log2(float64(m)))) + 2; bound > logBound {
+			t.Errorf("m=%d: bound %d exceeds 2·log₂m+2 = %d", m, bound, logBound)
+		}
+	}
+}
+
+func TestRippleSelectorLinearDelay(t *testing.T) {
+	rs := NewRippleSelector(64)
+	free := make([]bool, 64)
+	free[63] = true
+	idx, ok, delay := rs.Select(free)
+	if !ok || idx != 63 {
+		t.Fatalf("idx=%d ok=%v", idx, ok)
+	}
+	if delay != 64 {
+		t.Errorf("ripple delay = %d, want 64 (O(m))", delay)
+	}
+	free[63] = false
+	if _, ok, d := rs.Select(free); ok || d != 64 {
+		t.Errorf("empty select: ok=%v delay=%d", ok, d)
+	}
+}
+
+func TestSelectorsAgree(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		src := rng.New(seed)
+		const m = 16
+		pc := NewPriorityCircuit(m)
+		rs := NewRippleSelector(m)
+		free := make([]bool, m)
+		for i := range free {
+			free[i] = src.Intn(2) == 0
+		}
+		i1, ok1, _ := pc.Select(free)
+		i2, ok2, _ := rs.Select(free)
+		return i1 == i2 && ok1 == ok2
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCentralSchedulerSequentialCost(t *testing.T) {
+	// Serving p requests costs at least p·(search+setup): the
+	// sequential bottleneck of Section IV's comparison.
+	const p, m = 16, 32
+	cs := NewCentralScheduler(p, m, NewPriorityCircuit(m))
+	for i := 0; i < p; i++ {
+		if _, ok := cs.Request(); !ok {
+			t.Fatalf("request %d failed with free resources", i)
+		}
+	}
+	if cs.Served != p {
+		t.Fatalf("served = %d", cs.Served)
+	}
+	if cs.TotalOps < int64(p*cs.SetupCost()) {
+		t.Errorf("total ops %d below p·setup = %d", cs.TotalOps, p*cs.SetupCost())
+	}
+}
+
+func TestCentralSchedulerExhaustion(t *testing.T) {
+	cs := NewCentralScheduler(4, 2, NewRippleSelector(2))
+	a, _ := cs.Request()
+	b, _ := cs.Request()
+	if _, ok := cs.Request(); ok {
+		t.Error("request granted with no free resources")
+	}
+	cs.Release(a)
+	if idx, ok := cs.Request(); !ok || idx != a {
+		t.Errorf("re-request got %d, want %d", idx, a)
+	}
+	_ = b
+}
+
+func TestCentralSchedulerReleasePanics(t *testing.T) {
+	cs := NewCentralScheduler(2, 2, NewRippleSelector(2))
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on bad release")
+		}
+	}()
+	cs.Release(0) // never allocated
+}
+
+func TestMappingTrials(t *testing.T) {
+	// x=3 requests, y=3 resources: C(3,3)·3! = 6 ordered mappings —
+	// exactly the six mappings enumerated in the paper's Section II
+	// example.
+	if got := MappingTrials(3, 3); got != 6 {
+		t.Errorf("MappingTrials(3,3) = %v, want 6", got)
+	}
+	// x=4, y=2: C(4,2)·2! = 12.
+	if got := MappingTrials(4, 2); got != 12 {
+		t.Errorf("MappingTrials(4,2) = %v, want 12", got)
+	}
+	// Symmetric in its arguments.
+	if MappingTrials(2, 4) != MappingTrials(4, 2) {
+		t.Error("MappingTrials not symmetric")
+	}
+}
+
+// TestMaxAllocationSectionIIExample reproduces the paper's Section II
+// observation via exhaustive search: with processors 0,1,2 and
+// resources 0,1,2 on an idle 8×8 Omega network, the optimum allocates
+// all 3.
+func TestMaxAllocationSectionIIExample(t *testing.T) {
+	o := omega.New(8, 1)
+	for j := 3; j < 8; j++ {
+		o.SetResourceAvailability(j, 0)
+	}
+	if got := MaxAllocation(o, []int{0, 1, 2}, []int{0, 1, 2}); got != 3 {
+		t.Errorf("MaxAllocation = %d, want 3", got)
+	}
+}
+
+// TestDistributedMatchesOptimalOnIdleNetwork: on an idle network the
+// distributed DFS allocates as many requests as the exhaustive optimum
+// (sequential greedy with full backtracking is optimal for Omega
+// routing when requests arrive one at a time, because it only commits
+// paths that succeed).
+func TestDistributedMatchesOptimalOnIdleNetwork(t *testing.T) {
+	src := rng.New(99)
+	for trial := 0; trial < 30; trial++ {
+		free := map[int]bool{}
+		var dsts []int
+		o := omega.New(8, 1)
+		for j := 0; j < 8; j++ {
+			if src.Intn(2) == 0 {
+				o.SetResourceAvailability(j, 0)
+			} else {
+				free[j] = true
+				dsts = append(dsts, j)
+			}
+		}
+		var pids []int
+		for p := 0; p < 8; p++ {
+			if src.Intn(2) == 0 {
+				pids = append(pids, p)
+			}
+		}
+		opt := MaxAllocation(o, pids, dsts)
+
+		got := 0
+		for _, pid := range pids {
+			if _, ok := o.Acquire(pid); ok {
+				got++
+			}
+		}
+		// Greedy-with-reroute may fall at most slightly short of the
+		// offline optimum; on these instances it should usually match.
+		if got > opt {
+			t.Fatalf("distributed %d exceeded exhaustive optimum %d", got, opt)
+		}
+		if got < opt-1 {
+			t.Errorf("trial %d: distributed %d far below optimum %d (pids %v, free %v)",
+				trial, got, opt, pids, dsts)
+		}
+	}
+}
+
+func TestOverheadScaling(t *testing.T) {
+	// Distributed overhead grows logarithmically with ports; the
+	// centralized bound grows superquadratically with requests.
+	if DistributedOverhead(64, 2) >= DistributedOverhead(4096, 2) {
+		t.Error("distributed overhead should grow with network size")
+	}
+	d64 := DistributedOverhead(64, 2)
+	if d64 > 12 {
+		t.Errorf("distributed overhead for 64 ports = %v, want ≈ log₂N = 6 stages × O(1)", d64)
+	}
+	if CentralizedOverhead(64) < 64*64 {
+		t.Error("centralized overhead should be ≥ N²")
+	}
+	// Crossover: for nontrivial N the distributed cost is far below
+	// the centralized cost — the paper's core overhead claim.
+	for _, n := range []int{8, 16, 64, 256} {
+		if DistributedOverhead(n, 2) >= CentralizedOverhead(n) {
+			t.Errorf("N=%d: distributed %v not below centralized %v",
+				n, DistributedOverhead(n, 2), CentralizedOverhead(n))
+		}
+	}
+}
+
+func BenchmarkSchedulers(b *testing.B) {
+	const m = 64
+	free := make([]bool, m)
+	free[m-1] = true
+	b.Run("priority-circuit", func(b *testing.B) {
+		pc := NewPriorityCircuit(m)
+		for i := 0; i < b.N; i++ {
+			pc.Select(free)
+		}
+	})
+	b.Run("ripple", func(b *testing.B) {
+		rs := NewRippleSelector(m)
+		for i := 0; i < b.N; i++ {
+			rs.Select(free)
+		}
+	})
+}

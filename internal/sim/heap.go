@@ -1,0 +1,72 @@
+package sim
+
+// event is one scheduled occurrence in the simulation.
+type event struct {
+	time float64
+	seq  uint64 // FIFO tie-breaker for deterministic ordering
+	kind eventKind
+	pid  int // processor concerned (arrival, txDone)
+	gidx int // grant table index (txDone, svcDone)
+}
+
+type eventKind uint8
+
+const (
+	evArrival eventKind = iota
+	evTxDone
+	evSvcDone
+	evRetry
+)
+
+// eventHeap is a binary min-heap ordered by (time, seq). A hand-rolled
+// typed heap avoids the interface boxing of container/heap on the
+// simulator's hottest path.
+type eventHeap struct {
+	items []event
+}
+
+func (h *eventHeap) len() int { return len(h.items) }
+
+func (h *eventHeap) less(a, b event) bool {
+	if a.time != b.time {
+		return a.time < b.time
+	}
+	return a.seq < b.seq
+}
+
+func (h *eventHeap) push(e event) {
+	h.items = append(h.items, e)
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(h.items[i], h.items[parent]) {
+			break
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < last && h.less(h.items[l], h.items[smallest]) {
+			smallest = l
+		}
+		if r < last && h.less(h.items[r], h.items[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h.items[i], h.items[smallest] = h.items[smallest], h.items[i]
+		i = smallest
+	}
+	return top
+}

@@ -1,0 +1,401 @@
+// Package sim is the discrete-event simulation kernel that drives any
+// core.Network through the paper's workload model (Section II):
+//
+//	(a) Poisson task arrivals per processor; exponential transmission
+//	    and service times.
+//	(b) Blocked tasks queue FIFO at their processor and retry as soon
+//	    as the network signals availability (modeled by re-attempting
+//	    allocation on every release event).
+//	(c) Network propagation delay is negligible: allocation decisions
+//	    are evaluated instantaneously at event times.
+//	(d,e) One resource type; one resource per request.
+//	(f) A processor transmits one task at a time.
+//
+// The measured quantity is d, the expected delay in the queue before a
+// free resource is allocated (time from arrival to the start of
+// transmission), reported with a batch-means confidence interval and
+// normalized by the mean service time as in the paper's figures.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"rsin/internal/core"
+	"rsin/internal/rng"
+	"rsin/internal/stats"
+)
+
+// WakePolicy selects the order in which blocked processors re-attempt
+// allocation after a release. The paper's crossbar cell design is
+// inherently asymmetric (low-index processors win the wavefront); the
+// POLYP-style token alternative randomizes the winner. The policies are
+// compared in an ablation benchmark.
+type WakePolicy int
+
+const (
+	// WakeIndexOrder retries processors in ascending index order — the
+	// asymmetric priority of the paper's distributed crossbar cells.
+	WakeIndexOrder WakePolicy = iota
+	// WakeRandom retries processors in a fresh random order each time —
+	// the POLYP-style circulating-token discipline.
+	WakeRandom
+	// WakeRoundRobin rotates the starting processor on every release,
+	// a fair hardware-friendly compromise.
+	WakeRoundRobin
+)
+
+// String returns the policy name.
+func (w WakePolicy) String() string {
+	switch w {
+	case WakeIndexOrder:
+		return "index-order"
+	case WakeRandom:
+		return "random"
+	case WakeRoundRobin:
+		return "round-robin"
+	default:
+		return fmt.Sprintf("WakePolicy(%d)", int(w))
+	}
+}
+
+// Config parameterizes one simulation run.
+type Config struct {
+	Lambda  float64   // per-processor arrival rate λ
+	Lambdas []float64 // optional per-processor rates (overrides Lambda; len must equal the processor count)
+	MuN     float64   // transmission rate μn
+	MuS     float64   // service rate μs
+
+	Seed       uint64     // PRNG seed; equal seeds give identical runs
+	Warmup     float64    // simulated time discarded before measuring
+	Samples    int        // post-warmup delay samples to collect
+	BatchSize  int        // batch size for the batch-means CI (default 1/30 of Samples)
+	MaxQueue   int        // safety cap on any processor queue (default 1e6)
+	WakePolicy WakePolicy // retry ordering after releases
+
+	// RetryJitter, when positive, is the mean of an exponential random
+	// delay inserted before a blocked processor re-attempts allocation
+	// after new status information arrives — the paper's Section V
+	// suggestion for de-synchronizing the simultaneous retries caused
+	// by clocked status broadcasts. Zero (the default) retries
+	// immediately at the release instant.
+	RetryJitter float64
+
+	// CollectDelays, when set, stores every post-warmup delay sample in
+	// Result.Delays (Samples values), enabling quantile analysis beyond
+	// the mean the paper reports.
+	CollectDelays bool
+}
+
+// Result carries the measured steady-state estimates of one run.
+type Result struct {
+	Delay           stats.CI // mean queueing delay d with 95% CI
+	NormalizedDelay stats.CI // d·μs
+	Response        stats.CI // mean response time (arrival → service completion)
+	MeanQueue       float64  // time-averaged total queued tasks
+	Utilization     float64  // fraction of port-time spent transmitting or reserved
+	Completed       int64    // tasks fully served during measurement
+	Telemetry       core.Telemetry
+	SimTime         float64   // simulated duration (including warmup)
+	Delays          []float64 // raw post-warmup delay samples (Config.CollectDelays)
+}
+
+// DelayQuantile returns the q-quantile (0 ≤ q ≤ 1) of the collected
+// delay samples. It requires Config.CollectDelays and panics otherwise.
+func (r *Result) DelayQuantile(q float64) float64 {
+	if len(r.Delays) == 0 {
+		panic("sim: DelayQuantile requires Config.CollectDelays")
+	}
+	s := append([]float64(nil), r.Delays...)
+	sort.Float64s(s)
+	idx := int(q * float64(len(s)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}
+
+// ErrSaturated is returned when a processor queue exceeds Config.MaxQueue,
+// which in practice means the offered load exceeds the configuration's
+// capacity.
+var ErrSaturated = errors.New("sim: queue exceeded MaxQueue; system appears saturated")
+
+type procState struct {
+	queue        []float64 // arrival times of queued tasks (FIFO)
+	transmitting bool
+}
+
+// Run drives net through the workload until Samples post-warmup delays
+// are collected, and returns the measured metrics.
+//
+// net must be idle (freshly constructed): grants held by a previous run
+// are never released by a later one, so reusing a network leaks
+// capacity and biases the measurement toward saturation.
+func Run(net core.Network, cfg Config) (Result, error) {
+	if cfg.Lambda < 0 || cfg.MuN <= 0 || cfg.MuS <= 0 {
+		return Result{}, fmt.Errorf("sim: invalid rates λ=%g μn=%g μs=%g", cfg.Lambda, cfg.MuN, cfg.MuS)
+	}
+	rates := cfg.Lambdas
+	if rates == nil {
+		rates = make([]float64, net.Processors())
+		for i := range rates {
+			rates[i] = cfg.Lambda
+		}
+	} else if len(rates) != net.Processors() {
+		return Result{}, fmt.Errorf("sim: Lambdas has %d entries for %d processors", len(rates), net.Processors())
+	}
+	for pid, r := range rates {
+		if r < 0 {
+			return Result{}, fmt.Errorf("sim: negative arrival rate %g for processor %d", r, pid)
+		}
+	}
+	if cfg.Samples <= 0 {
+		cfg.Samples = 100000
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = cfg.Samples / 30
+		if cfg.BatchSize == 0 {
+			cfg.BatchSize = 1
+		}
+	}
+	if cfg.MaxQueue <= 0 {
+		cfg.MaxQueue = 1 << 20
+	}
+	p := net.Processors()
+	src := rng.New(cfg.Seed)
+	procs := make([]procState, p)
+	grants := newGrantTable()
+
+	var (
+		h         eventHeap
+		seq       uint64
+		now       float64
+		delays    = stats.NewBatchMeans(int64(cfg.BatchSize))
+		responses = stats.NewBatchMeans(int64(cfg.BatchSize))
+		collected int
+		completed int64
+		queueLen  stats.TimeWeighted
+		busyTW    stats.TimeWeighted
+		totalQ    int
+		busyPorts int
+		warmedUp  bool
+		rrStart   int
+		retryPend = make([]bool, p)
+	)
+	schedule := func(e event) {
+		e.seq = seq
+		seq++
+		h.push(e)
+	}
+	setQ := func(delta int) {
+		totalQ += delta
+		queueLen.Set(now, float64(totalQ))
+	}
+	setBusy := func(delta int) {
+		busyPorts += delta
+		busyTW.Set(now, float64(busyPorts))
+	}
+	queueLen.Set(0, 0)
+	busyTW.Set(0, 0)
+
+	for pid := 0; pid < p; pid++ {
+		if rates[pid] > 0 {
+			schedule(event{time: src.Exp(rates[pid]), kind: evArrival, pid: pid})
+		}
+	}
+
+	// startTx begins transmission for pid's head-of-queue task (already
+	// granted). Returns the queueing delay of the task.
+	startTx := func(pid int, g core.Grant) float64 {
+		ps := &procs[pid]
+		arrivedAt := ps.queue[0]
+		ps.queue = ps.queue[1:]
+		setQ(-1)
+		ps.transmitting = true
+		setBusy(1)
+		gi := grants.put(g, arrivedAt)
+		schedule(event{time: now + src.Exp(cfg.MuN), kind: evTxDone, pid: pid, gidx: gi})
+		return now - arrivedAt
+	}
+
+	var kept []float64
+	if cfg.CollectDelays {
+		kept = make([]float64, 0, cfg.Samples)
+	}
+	recordDelay := func(d float64) {
+		if !warmedUp {
+			return
+		}
+		delays.Add(d)
+		if cfg.CollectDelays {
+			kept = append(kept, d)
+		}
+		collected++
+	}
+
+	// tryStart attempts to begin transmission for pid if it has queued
+	// work and is idle.
+	tryStart := func(pid int) bool {
+		ps := &procs[pid]
+		if ps.transmitting || len(ps.queue) == 0 {
+			return false
+		}
+		g, ok := net.Acquire(pid)
+		if !ok {
+			return false
+		}
+		recordDelay(startTx(pid, g))
+		return true
+	}
+
+	// wake retries blocked processors after a release, in policy order,
+	// until a full pass makes no progress. With RetryJitter set, the
+	// retries are instead scheduled after independent random delays —
+	// the paper's de-synchronization suggestion.
+	wake := func() {
+		if cfg.RetryJitter > 0 {
+			for pid := 0; pid < p; pid++ {
+				ps := &procs[pid]
+				if retryPend[pid] || ps.transmitting || len(ps.queue) == 0 {
+					continue
+				}
+				retryPend[pid] = true
+				schedule(event{time: now + src.Exp(1/cfg.RetryJitter), kind: evRetry, pid: pid})
+			}
+			return
+		}
+		switch cfg.WakePolicy {
+		case WakeIndexOrder:
+			for progress := true; progress; {
+				progress = false
+				for pid := 0; pid < p; pid++ {
+					if tryStart(pid) {
+						progress = true
+					}
+				}
+			}
+		case WakeRoundRobin:
+			rrStart = (rrStart + 1) % p
+			for progress := true; progress; {
+				progress = false
+				for i := 0; i < p; i++ {
+					if tryStart((rrStart + i) % p) {
+						progress = true
+					}
+				}
+			}
+		case WakeRandom:
+			for progress := true; progress; {
+				progress = false
+				for _, pid := range src.Perm(p) {
+					if tryStart(pid) {
+						progress = true
+					}
+				}
+			}
+		}
+	}
+
+	for collected < cfg.Samples {
+		if h.len() == 0 {
+			break // λ == 0: nothing will ever happen
+		}
+		e := h.pop()
+		now = e.time
+		if !warmedUp && now >= cfg.Warmup {
+			warmedUp = true
+			queueLen.Reset()
+			busyTW.Reset()
+			completed = 0
+		}
+		switch e.kind {
+		case evArrival:
+			ps := &procs[e.pid]
+			ps.queue = append(ps.queue, now)
+			setQ(1)
+			if len(ps.queue) > cfg.MaxQueue {
+				return Result{}, fmt.Errorf("%w (processor %d, t=%g)", ErrSaturated, e.pid, now)
+			}
+			tryStart(e.pid)
+			schedule(event{time: now + src.Exp(rates[e.pid]), kind: evArrival, pid: e.pid})
+		case evTxDone:
+			g := grants.get(e.gidx)
+			net.ReleasePath(g)
+			procs[e.pid].transmitting = false
+			setBusy(-1)
+			schedule(event{time: now + src.Exp(cfg.MuS), kind: evSvcDone, gidx: e.gidx})
+			// The freed path (and bus) may unblock queued tasks,
+			// including this processor's own next task.
+			wake()
+		case evSvcDone:
+			g, arrived := grants.take(e.gidx)
+			net.ReleaseResource(g)
+			completed++
+			if warmedUp {
+				responses.Add(now - arrived)
+			}
+			// The freed resource may unblock queued tasks.
+			wake()
+		case evRetry:
+			retryPend[e.pid] = false
+			tryStart(e.pid)
+		}
+	}
+
+	res := Result{
+		Delay:     delays.Interval(0.95),
+		Response:  responses.Interval(0.95),
+		Completed: completed,
+		SimTime:   now,
+		Delays:    kept,
+	}
+	res.MeanQueue = queueLen.Finish(now)
+	res.Utilization = busyTW.Finish(now) / float64(net.Ports())
+	res.NormalizedDelay = stats.CI{
+		Mean:     res.Delay.Mean * cfg.MuS,
+		HalfWide: res.Delay.HalfWide * cfg.MuS,
+		N:        res.Delay.N,
+	}
+	if ts, ok := net.(core.TelemetrySource); ok {
+		res.Telemetry = ts.Telemetry()
+	}
+	return res, nil
+}
+
+// grantTable stores outstanding grants (and their tasks' arrival times)
+// indexed by small reusable ints so events stay value types.
+type grantTable struct {
+	slots []grantSlot
+	free  []int
+}
+
+type grantSlot struct {
+	g       core.Grant
+	arrived float64
+}
+
+func newGrantTable() *grantTable { return &grantTable{} }
+
+func (t *grantTable) put(g core.Grant, arrived float64) int {
+	if n := len(t.free); n > 0 {
+		i := t.free[n-1]
+		t.free = t.free[:n-1]
+		t.slots[i] = grantSlot{g: g, arrived: arrived}
+		return i
+	}
+	t.slots = append(t.slots, grantSlot{g: g, arrived: arrived})
+	return len(t.slots) - 1
+}
+
+func (t *grantTable) get(i int) core.Grant { return t.slots[i].g }
+
+func (t *grantTable) take(i int) (core.Grant, float64) {
+	s := t.slots[i]
+	t.slots[i] = grantSlot{}
+	t.free = append(t.free, i)
+	return s.g, s.arrived
+}

@@ -1,0 +1,338 @@
+// Package stats provides the statistical accumulators used by the RSIN
+// simulations and experiment harness: streaming mean/variance (Welford),
+// time-weighted averages for state variables (queue lengths,
+// utilizations), batch-means confidence intervals for steady-state
+// simulation output, and simple fixed-width histograms.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Welford accumulates a streaming sample mean and variance.
+// The zero value is an empty accumulator ready to use.
+type Welford struct {
+	n    int64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add incorporates one observation.
+func (w *Welford) Add(x float64) {
+	w.n++
+	if w.n == 1 {
+		w.min, w.max = x, x
+	} else {
+		if x < w.min {
+			w.min = x
+		}
+		if x > w.max {
+			w.max = x
+		}
+	}
+	delta := x - w.mean
+	w.mean += delta / float64(w.n)
+	w.m2 += delta * (x - w.mean)
+}
+
+// N returns the number of observations.
+func (w *Welford) N() int64 { return w.n }
+
+// Mean returns the sample mean (0 for an empty accumulator).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the unbiased sample variance (0 when n < 2).
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
+
+// Min returns the smallest observation (0 for an empty accumulator).
+func (w *Welford) Min() float64 { return w.min }
+
+// Max returns the largest observation (0 for an empty accumulator).
+func (w *Welford) Max() float64 { return w.max }
+
+// Merge combines another accumulator into w (parallel-streams merge).
+func (w *Welford) Merge(o *Welford) {
+	if o.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = *o
+		return
+	}
+	n := w.n + o.n
+	delta := o.mean - w.mean
+	w.mean += delta * float64(o.n) / float64(n)
+	w.m2 += o.m2 + delta*delta*float64(w.n)*float64(o.n)/float64(n)
+	if o.min < w.min {
+		w.min = o.min
+	}
+	if o.max > w.max {
+		w.max = o.max
+	}
+	w.n = n
+}
+
+// TimeWeighted accumulates the time average of a piecewise-constant
+// state variable, e.g. the number of queued tasks or busy resources.
+type TimeWeighted struct {
+	lastT    float64
+	lastV    float64
+	area     float64
+	started  bool
+	duration float64
+}
+
+// Set records that the variable takes value v at time t. Times must be
+// non-decreasing.
+func (tw *TimeWeighted) Set(t, v float64) {
+	if tw.started {
+		if t < tw.lastT {
+			panic(fmt.Sprintf("stats: TimeWeighted time went backwards: %v < %v", t, tw.lastT))
+		}
+		dt := t - tw.lastT
+		tw.area += dt * tw.lastV
+		tw.duration += dt
+	}
+	tw.lastT, tw.lastV, tw.started = t, v, true
+}
+
+// Finish closes the observation window at time t without changing the
+// value, and returns the time average over the observed window.
+func (tw *TimeWeighted) Finish(t float64) float64 {
+	tw.Set(t, tw.lastV)
+	return tw.Mean()
+}
+
+// Mean returns the time-averaged value observed so far.
+func (tw *TimeWeighted) Mean() float64 {
+	if tw.duration == 0 {
+		return 0
+	}
+	return tw.area / tw.duration
+}
+
+// Duration returns the length of the observed window.
+func (tw *TimeWeighted) Duration() float64 { return tw.duration }
+
+// Reset discards history but keeps the current value and time, so the
+// accumulator can be reset at the end of a warmup period.
+func (tw *TimeWeighted) Reset() {
+	tw.area = 0
+	tw.duration = 0
+}
+
+// CI is a symmetric confidence interval around a point estimate.
+type CI struct {
+	Mean     float64 // point estimate
+	HalfWide float64 // half width; interval is Mean ± HalfWide
+	N        int64   // observations (or batches) behind the estimate
+}
+
+// Lo returns the lower bound of the interval.
+func (c CI) Lo() float64 { return c.Mean - c.HalfWide }
+
+// Hi returns the upper bound of the interval.
+func (c CI) Hi() float64 { return c.Mean + c.HalfWide }
+
+// Contains reports whether x lies inside the interval.
+func (c CI) Contains(x float64) bool { return x >= c.Lo() && x <= c.Hi() }
+
+// String renders the interval as "mean ± half".
+func (c CI) String() string { return fmt.Sprintf("%.6g ± %.2g", c.Mean, c.HalfWide) }
+
+// BatchMeans divides a stream of correlated observations into fixed
+// batches and applies the batch-means method to estimate a confidence
+// interval for the steady-state mean.
+type BatchMeans struct {
+	batchSize int64
+	cur       Welford
+	batches   []float64
+}
+
+// NewBatchMeans returns an accumulator that groups observations into
+// batches of the given size. Batch size must be positive.
+func NewBatchMeans(batchSize int64) *BatchMeans {
+	if batchSize <= 0 {
+		panic("stats: batch size must be positive")
+	}
+	return &BatchMeans{batchSize: batchSize}
+}
+
+// Add incorporates one observation.
+func (b *BatchMeans) Add(x float64) {
+	b.cur.Add(x)
+	if b.cur.N() == b.batchSize {
+		b.batches = append(b.batches, b.cur.Mean())
+		b.cur = Welford{}
+	}
+}
+
+// Batches returns the number of completed batches.
+func (b *BatchMeans) Batches() int { return len(b.batches) }
+
+// Interval returns a Student-t confidence interval at the given
+// confidence level (e.g. 0.95) using the completed batches. With fewer
+// than two batches the half width is +Inf.
+func (b *BatchMeans) Interval(level float64) CI {
+	var w Welford
+	for _, m := range b.batches {
+		w.Add(m)
+	}
+	ci := CI{Mean: w.Mean(), N: w.N()}
+	if w.N() < 2 {
+		ci.HalfWide = math.Inf(1)
+		return ci
+	}
+	t := tQuantile(level, int(w.N()-1))
+	ci.HalfWide = t * w.StdDev() / math.Sqrt(float64(w.N()))
+	return ci
+}
+
+// tQuantile returns the two-sided Student-t critical value for the given
+// confidence level and degrees of freedom, via a lookup table for small
+// df and the normal quantile beyond it. Accuracy is more than adequate
+// for simulation CIs.
+func tQuantile(level float64, df int) float64 {
+	if df < 1 {
+		return math.Inf(1)
+	}
+	type row struct{ t90, t95, t99 float64 }
+	table := []row{
+		{6.314, 12.706, 63.657}, {2.920, 4.303, 9.925}, {2.353, 3.182, 5.841},
+		{2.132, 2.776, 4.604}, {2.015, 2.571, 4.032}, {1.943, 2.447, 3.707},
+		{1.895, 2.365, 3.499}, {1.860, 2.306, 3.355}, {1.833, 2.262, 3.250},
+		{1.812, 2.228, 3.169}, {1.796, 2.201, 3.106}, {1.782, 2.179, 3.055},
+		{1.771, 2.160, 3.012}, {1.761, 2.145, 2.977}, {1.753, 2.131, 2.947},
+		{1.746, 2.120, 2.921}, {1.740, 2.110, 2.898}, {1.734, 2.101, 2.878},
+		{1.729, 2.093, 2.861}, {1.725, 2.086, 2.845}, {1.721, 2.080, 2.831},
+		{1.717, 2.074, 2.819}, {1.714, 2.069, 2.807}, {1.711, 2.064, 2.797},
+		{1.708, 2.060, 2.787}, {1.706, 2.056, 2.779}, {1.703, 2.052, 2.771},
+		{1.701, 2.048, 2.763}, {1.699, 2.045, 2.756}, {1.697, 2.042, 2.750},
+	}
+	pick := func(r row) float64 {
+		switch {
+		case level <= 0.90:
+			return r.t90
+		case level <= 0.95:
+			return r.t95
+		default:
+			return r.t99
+		}
+	}
+	if df <= len(table) {
+		return pick(table[df-1])
+	}
+	// Large df: normal quantiles.
+	switch {
+	case level <= 0.90:
+		return 1.645
+	case level <= 0.95:
+		return 1.960
+	default:
+		return 2.576
+	}
+}
+
+// Histogram is a fixed-width histogram over [lo, hi) with overflow and
+// underflow buckets.
+type Histogram struct {
+	lo, hi   float64
+	buckets  []int64
+	under    int64
+	over     int64
+	total    int64
+	sum      float64
+	widthInv float64
+}
+
+// NewHistogram returns a histogram with n equal-width buckets over
+// [lo, hi). n must be positive and hi > lo.
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 || hi <= lo {
+		panic("stats: invalid histogram parameters")
+	}
+	return &Histogram{
+		lo: lo, hi: hi,
+		buckets:  make([]int64, n),
+		widthInv: float64(n) / (hi - lo),
+	}
+}
+
+// Add incorporates one observation.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	h.sum += x
+	switch {
+	case x < h.lo:
+		h.under++
+	case x >= h.hi:
+		h.over++
+	default:
+		h.buckets[int((x-h.lo)*h.widthInv)]++
+	}
+}
+
+// N returns the total number of observations.
+func (h *Histogram) N() int64 { return h.total }
+
+// Mean returns the sample mean of all observations (including ones
+// outside [lo, hi)).
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / float64(h.total)
+}
+
+// Quantile returns an approximate q-quantile (0 ≤ q ≤ 1) by scanning the
+// buckets; under/overflow observations are attributed to the boundaries.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	target := int64(q * float64(h.total))
+	c := h.under
+	if c > target {
+		return h.lo
+	}
+	width := (h.hi - h.lo) / float64(len(h.buckets))
+	for i, b := range h.buckets {
+		c += b
+		if c > target {
+			return h.lo + (float64(i)+0.5)*width
+		}
+	}
+	return h.hi
+}
+
+// Bucket returns the count in bucket i.
+func (h *Histogram) Bucket(i int) int64 { return h.buckets[i] }
+
+// NumBuckets returns the number of interior buckets.
+func (h *Histogram) NumBuckets() int { return len(h.buckets) }
+
+// Median returns the sample median of a slice (not modified).
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}

@@ -1,0 +1,289 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rsin/internal/rng"
+)
+
+func TestWelfordBasics(t *testing.T) {
+	var w Welford
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(x)
+	}
+	if w.N() != 8 {
+		t.Errorf("N = %d, want 8", w.N())
+	}
+	if got := w.Mean(); math.Abs(got-5) > 1e-12 {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	// Population variance of this classic set is 4; sample variance is
+	// 32/7.
+	if got, want := w.Variance(), 32.0/7.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("Variance = %v, want %v", got, want)
+	}
+	if w.Min() != 2 || w.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v, want 2/9", w.Min(), w.Max())
+	}
+}
+
+func TestWelfordEmpty(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Variance() != 0 || w.N() != 0 {
+		t.Error("empty accumulator should be all zeros")
+	}
+}
+
+func TestWelfordMergeMatchesSequential(t *testing.T) {
+	if err := quick.Check(func(seed uint64, nA, nB uint8) bool {
+		src := rng.New(seed)
+		var all, a, b Welford
+		for i := 0; i < int(nA); i++ {
+			x := src.Norm()
+			all.Add(x)
+			a.Add(x)
+		}
+		for i := 0; i < int(nB); i++ {
+			x := src.Norm()
+			all.Add(x)
+			b.Add(x)
+		}
+		a.Merge(&b)
+		return a.N() == all.N() &&
+			math.Abs(a.Mean()-all.Mean()) < 1e-9 &&
+			math.Abs(a.Variance()-all.Variance()) < 1e-9
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTimeWeightedConstant(t *testing.T) {
+	var tw TimeWeighted
+	tw.Set(0, 3)
+	tw.Set(5, 3)
+	if got := tw.Finish(10); math.Abs(got-3) > 1e-12 {
+		t.Errorf("constant signal mean = %v, want 3", got)
+	}
+}
+
+func TestTimeWeightedStep(t *testing.T) {
+	var tw TimeWeighted
+	tw.Set(0, 0)
+	tw.Set(4, 10) // value 0 over [0,4)
+	// value 10 over [4,8)
+	if got := tw.Finish(8); math.Abs(got-5) > 1e-12 {
+		t.Errorf("step signal mean = %v, want 5", got)
+	}
+}
+
+func TestTimeWeightedResetForWarmup(t *testing.T) {
+	var tw TimeWeighted
+	tw.Set(0, 100) // warmup garbage
+	tw.Set(10, 2)
+	tw.Reset() // discard warmup, keep current value 2 at t=10
+	if got := tw.Finish(20); math.Abs(got-2) > 1e-12 {
+		t.Errorf("post-warmup mean = %v, want 2", got)
+	}
+}
+
+func TestTimeWeightedPanicsOnBackwardsTime(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on backwards time")
+		}
+	}()
+	var tw TimeWeighted
+	tw.Set(5, 1)
+	tw.Set(4, 1)
+}
+
+func TestCIBounds(t *testing.T) {
+	ci := CI{Mean: 10, HalfWide: 2}
+	if ci.Lo() != 8 || ci.Hi() != 12 {
+		t.Errorf("bounds = [%v, %v], want [8, 12]", ci.Lo(), ci.Hi())
+	}
+	if !ci.Contains(9) || ci.Contains(13) {
+		t.Error("Contains misbehaves")
+	}
+}
+
+func TestBatchMeansCoverage(t *testing.T) {
+	// For iid normal data, a 95% CI should contain the true mean in the
+	// vast majority of replications.
+	src := rng.New(99)
+	hits := 0
+	const reps = 200
+	for rep := 0; rep < reps; rep++ {
+		bm := NewBatchMeans(100)
+		for i := 0; i < 3000; i++ {
+			bm.Add(5 + src.Norm())
+		}
+		if bm.Interval(0.95).Contains(5) {
+			hits++
+		}
+	}
+	if hits < int(0.88*reps) {
+		t.Errorf("95%% CI covered true mean only %d/%d times", hits, reps)
+	}
+}
+
+func TestBatchMeansFewBatches(t *testing.T) {
+	bm := NewBatchMeans(10)
+	for i := 0; i < 15; i++ {
+		bm.Add(1)
+	}
+	ci := bm.Interval(0.95)
+	if !math.IsInf(ci.HalfWide, 1) {
+		t.Errorf("single batch should give infinite half width, got %v", ci.HalfWide)
+	}
+	if bm.Batches() != 1 {
+		t.Errorf("Batches = %d, want 1", bm.Batches())
+	}
+}
+
+func TestTQuantileMonotone(t *testing.T) {
+	// Critical values shrink with df and grow with confidence.
+	if tQuantile(0.95, 1) <= tQuantile(0.95, 10) {
+		t.Error("t quantile should shrink as df grows")
+	}
+	if tQuantile(0.99, 10) <= tQuantile(0.95, 10) {
+		t.Error("t quantile should grow with confidence level")
+	}
+	if got := tQuantile(0.95, 1000); math.Abs(got-1.96) > 1e-9 {
+		t.Errorf("large-df 95%% quantile = %v, want 1.96", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	h.Add(-1) // underflow
+	h.Add(99) // overflow
+	if h.N() != 12 {
+		t.Errorf("N = %d, want 12", h.N())
+	}
+	for i := 0; i < 10; i++ {
+		if h.Bucket(i) != 1 {
+			t.Errorf("bucket %d = %d, want 1", i, h.Bucket(i))
+		}
+	}
+	med := h.Quantile(0.5)
+	if med < 3 || med > 7 {
+		t.Errorf("median = %v, want near 5", med)
+	}
+}
+
+func TestHistogramMeanIncludesOutliers(t *testing.T) {
+	h := NewHistogram(0, 1, 4)
+	h.Add(0.5)
+	h.Add(10)
+	if got := h.Mean(); math.Abs(got-5.25) > 1e-12 {
+		t.Errorf("Mean = %v, want 5.25", got)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if got := Median([]float64{3, 1, 2}); got != 2 {
+		t.Errorf("odd median = %v, want 2", got)
+	}
+	if got := Median([]float64{4, 1, 3, 2}); got != 2.5 {
+		t.Errorf("even median = %v, want 2.5", got)
+	}
+	if got := Median(nil); got != 0 {
+		t.Errorf("empty median = %v, want 0", got)
+	}
+	// Median must not mutate its input.
+	in := []float64{3, 1, 2}
+	Median(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Error("Median mutated its input")
+	}
+}
+
+func TestAccessorsAndFormatting(t *testing.T) {
+	var tw TimeWeighted
+	if tw.Mean() != 0 {
+		t.Error("empty TimeWeighted mean should be 0")
+	}
+	tw.Set(0, 1)
+	tw.Set(4, 1)
+	if tw.Duration() != 4 {
+		t.Errorf("Duration = %v, want 4", tw.Duration())
+	}
+	ci := CI{Mean: 1.5, HalfWide: 0.25}
+	if s := ci.String(); s != "1.5 ± 0.25" {
+		t.Errorf("CI.String() = %q", s)
+	}
+	h := NewHistogram(0, 1, 4)
+	if h.NumBuckets() != 4 {
+		t.Errorf("NumBuckets = %d", h.NumBuckets())
+	}
+	if h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Error("empty histogram should report zeros")
+	}
+}
+
+func TestConstructorPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"batch size":       func() { NewBatchMeans(0) },
+		"histogram n":      func() { NewHistogram(0, 1, 0) },
+		"histogram bounds": func() { NewHistogram(1, 0, 4) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		})
+	}
+}
+
+func TestTQuantileLevels(t *testing.T) {
+	// 90% and 99% branches for small and large df.
+	if tQuantile(0.90, 5) >= tQuantile(0.99, 5) {
+		t.Error("90% quantile should be below 99%")
+	}
+	if got := tQuantile(0.90, 500); got != 1.645 {
+		t.Errorf("large-df 90%% = %v", got)
+	}
+	if got := tQuantile(0.99, 500); got != 2.576 {
+		t.Errorf("large-df 99%% = %v", got)
+	}
+	if !math.IsInf(tQuantile(0.95, 0), 1) {
+		t.Error("df=0 should be +Inf")
+	}
+}
+
+func TestHistogramQuantileUnderflow(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		h.Add(-5) // all underflow
+	}
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("all-underflow median = %v, want lo bound 0", got)
+	}
+	h2 := NewHistogram(0, 10, 10)
+	h2.Add(50)
+	if got := h2.Quantile(0.99); got != 10 {
+		t.Errorf("all-overflow quantile = %v, want hi bound 10", got)
+	}
+}
+
+func TestWelfordVarianceNonNegativeProperty(t *testing.T) {
+	if err := quick.Check(func(seed uint64, n uint8) bool {
+		src := rng.New(seed)
+		var w Welford
+		for i := 0; i < int(n); i++ {
+			w.Add(src.Norm() * 1000)
+		}
+		return w.Variance() >= 0
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
