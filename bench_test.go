@@ -7,6 +7,7 @@ package rsin_test
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 
 	"rsin/internal/config"
@@ -31,7 +32,7 @@ func benchQuality() experiments.Quality {
 // Markov analysis).
 func BenchmarkFig4(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		fig, err := experiments.Fig4(benchGrid())
+		fig, err := experiments.Fig4(benchGrid(), benchQuality())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -45,7 +46,7 @@ func BenchmarkFig4(b *testing.B) {
 // BenchmarkFig5 regenerates Fig. 5 (SBUS delays, μs/μn = 1.0).
 func BenchmarkFig5(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		fig, err := experiments.Fig5(benchGrid())
+		fig, err := experiments.Fig5(benchGrid(), benchQuality())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -324,6 +325,43 @@ func BenchmarkEngineThroughput(b *testing.B) {
 					Lambda: lambda, MuN: 1, MuS: 0.1, Seed: 1, Warmup: 100, Samples: 20000,
 				}); err != nil {
 					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelSweep measures the parallel runner's speedup on a
+// 4-point Full-quality sweep of one crossbar configuration: the same
+// sweep at workers=1 and workers=4. On a ≥4-core machine the
+// workers=4 run should finish at least ~2× faster; the benchmark also
+// asserts that the rendered CSV is byte-identical across worker
+// counts — the runner's determinism contract (run with
+// `go test -bench ParallelSweep -benchtime 1x`).
+func BenchmarkParallelSweep(b *testing.B) {
+	grid := []float64{0.2, 0.4, 0.6, 0.8}
+	cfg := config.MustParse("16/1x16x16 OMEGA/2")
+	render := func(workers int) string {
+		q := experiments.Full()
+		q.Workers = workers
+		s := experiments.Sweep(cfg, 0.1, grid, q)
+		var sb strings.Builder
+		fig := experiments.Figure{ID: "bench", XLabel: "rho", Series: []experiments.Series{s}}
+		if err := fig.RenderCSV(&sb); err != nil {
+			b.Fatal(err)
+		}
+		return sb.String()
+	}
+	var ref string
+	for _, workers := range []int{1, 4} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				csv := render(workers)
+				if ref == "" {
+					ref = csv
+				} else if csv != ref {
+					b.Fatal("CSV output differs across worker counts or runs")
 				}
 			}
 		})

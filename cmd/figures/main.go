@@ -7,29 +7,43 @@
 // cross-network comparison, a μs/μn ratio sweep, and the quantitative
 // cost-performance frontier behind Table II.
 //
+// Sweeps execute on the parallel runner (internal/runner): the points
+// of each figure fan out across -workers goroutines with per-point
+// derived seeds, so the output is bit-for-bit identical for any worker
+// count — rerun with a different -workers value and diff to check.
+//
 // Usage:
 //
 //	figures -fig all               # everything, full quality
 //	figures -fig 4                 # one artifact
 //	figures -fig 12 -quick         # fast, noisier confidence intervals
 //	figures -fig 7 -format csv     # machine-readable series
+//	figures -fig 8 -workers 4      # cap the worker pool
+//	figures -fig all -progress     # live per-sweep progress on stderr
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
 	"rsin/internal/cost"
 	"rsin/internal/experiments"
+	"rsin/internal/runner"
 	"rsin/internal/workload"
 )
 
 func main() {
 	var (
-		which  = flag.String("fig", "all", "which artifact: 4, 5, 7, 8, 11, 12, 13, blocking, compare, table1, table2, ratio, frontier, all")
-		quick  = flag.Bool("quick", false, "use the fast preset (noisier confidence intervals)")
-		format = flag.String("format", "text", "output format for figure tables: text or csv")
+		which    = flag.String("fig", "all", "which artifact: 4, 5, 7, 8, 11, 12, 13, blocking, compare, table1, table2, ratio, frontier, all")
+		quick    = flag.Bool("quick", false, "use the fast preset (noisier confidence intervals)")
+		format   = flag.String("format", "text", "output format for figure tables: text or csv")
+		workers  = flag.Int("workers", 0, "worker goroutines per sweep (0 = all CPUs); results are identical for any value")
+		reps     = flag.Int("reps", 1, "independent replications per sweep point, pooled into one estimate")
+		progress = flag.Bool("progress", false, "report live per-sweep progress on stderr")
+		timing   = flag.Bool("timing", true, "report per-artifact wall-clock timing on stderr")
 	)
 	flag.Parse()
 
@@ -37,24 +51,29 @@ func main() {
 	if *quick {
 		q = experiments.Quick()
 	}
-	rhos := workload.PaperRhoGrid()
+	q.Workers = *workers
+	q.Reps = *reps
 	render := func(fig experiments.Figure) error {
 		if *format == "csv" {
 			return fig.RenderCSV(os.Stdout)
 		}
 		return fig.Render(os.Stdout)
 	}
+	rhos := workload.PaperRhoGrid()
 
 	run := func(name string) error {
+		if *progress {
+			q.Progress = runner.Printer(os.Stderr, "fig "+name)
+		}
 		switch name {
 		case "4":
-			fig, err := experiments.Fig4(rhos)
+			fig, err := experiments.Fig4(rhos, q)
 			if err != nil {
 				return err
 			}
 			return render(fig)
 		case "5":
-			fig, err := experiments.Fig5(rhos)
+			fig, err := experiments.Fig5(rhos, q)
 			if err != nil {
 				return err
 			}
@@ -72,7 +91,7 @@ func main() {
 			if *quick {
 				trials = 5000
 			}
-			return render(experiments.FigBlocking(8, trials, q.Seed))
+			return render(experiments.FigBlocking(8, trials, q))
 		case "compare":
 			return render(experiments.FigCompare(0.1, rhos, q))
 		case "11":
@@ -115,10 +134,19 @@ func main() {
 	if *which == "all" {
 		names = []string{"4", "5", "7", "8", "11", "12", "13", "blocking", "compare", "table1", "table2", "ratio", "frontier"}
 	}
+	effWorkers := *workers
+	if effWorkers <= 0 {
+		effWorkers = runtime.NumCPU()
+	}
 	for _, n := range names {
+		start := time.Now()
 		if err := run(n); err != nil {
 			fmt.Fprintln(os.Stderr, "figures:", err)
 			os.Exit(1)
+		}
+		if *timing {
+			fmt.Fprintf(os.Stderr, "figures: %s regenerated in %s (workers=%d)\n",
+				n, time.Since(start).Round(time.Millisecond), effWorkers)
 		}
 	}
 }

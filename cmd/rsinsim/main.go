@@ -6,21 +6,32 @@
 //
 //	rsinsim -config "16/1x16x16 OMEGA/2" -ratio 0.1 -rho 0.5
 //	rsinsim -config "16/16x1x1 SBUS/2" -ratio 0.1 -rho 0.5 -analytic
+//	rsinsim -config "16/4x4x4 XBAR/2" -rho 0.6 -reps 8 -workers 4
 //
 // The operating point can be given either as the paper's traffic
 // intensity (-rho, relative to the 16-processor/32-resource reference
 // system) or directly as a per-processor arrival rate (-lambda).
+//
+// With -reps R > 1, R independent replications run in parallel across
+// -workers goroutines, each on its own derived random stream
+// (runner.DeriveSeed), and the pooled estimate is reported alongside
+// the per-replication means. The output is bit-for-bit identical for
+// any -workers value.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
+	"time"
 
 	"rsin/internal/config"
 	"rsin/internal/markov"
 	"rsin/internal/queueing"
+	"rsin/internal/runner"
 	"rsin/internal/sim"
+	"rsin/internal/stats"
 )
 
 func main() {
@@ -32,6 +43,8 @@ func main() {
 		samples  = flag.Int("samples", 200000, "post-warmup delay samples")
 		warmup   = flag.Float64("warmup", 2000, "warmup period (simulated time)")
 		seed     = flag.Uint64("seed", 1, "simulation seed")
+		reps     = flag.Int("reps", 1, "independent replications, pooled into one estimate")
+		workers  = flag.Int("workers", 0, "worker goroutines for replications (0 = all CPUs)")
 		analytic = flag.Bool("analytic", false, "use the exact Markov analysis (SBUS configurations only)")
 	)
 	flag.Parse()
@@ -71,13 +84,43 @@ func main() {
 		return
 	}
 
-	net := cfg.MustBuild(config.BuildOptions{Seed: *seed})
-	res, err := sim.Run(net, sim.Config{
-		Lambda: lam, MuN: muN, MuS: muS,
-		Seed: *seed, Warmup: *warmup, Samples: *samples,
+	if *reps < 1 {
+		*reps = 1
+	}
+	start := time.Now()
+	type repOut struct {
+		res sim.Result
+		err error
+	}
+	outs := runner.Map(runner.Options{Workers: *workers}, *reps, func(r int) repOut {
+		net := cfg.MustBuild(config.BuildOptions{Seed: runner.DeriveSeed(*seed, 0, 2*r+1)})
+		res, err := sim.Run(net, sim.Config{
+			Lambda: lam, MuN: muN, MuS: muS,
+			Seed: runner.DeriveSeed(*seed, 0, 2*r), Warmup: *warmup, Samples: *samples,
+		})
+		return repOut{res: res, err: err}
 	})
-	if err != nil {
-		fatal(err)
+	for _, o := range outs {
+		if o.err != nil {
+			fatal(o.err)
+		}
+	}
+	res := outs[0].res
+	fmt.Printf("wall-clock              : %s\n", time.Since(start).Round(time.Millisecond))
+	if *reps > 1 {
+		fmt.Printf("replications            : %d\n", *reps)
+		var sum, hw2 float64
+		for r, o := range outs {
+			fmt.Printf("  rep %-2d delay d        : %s\n", r, o.res.Delay)
+			sum += o.res.Delay.Mean
+			hw2 += o.res.Delay.HalfWide * o.res.Delay.HalfWide
+		}
+		n := float64(*reps)
+		pooled := stats.CI{Mean: sum / n, HalfWide: math.Sqrt(hw2) / n, N: int64(*reps) * res.Delay.N}
+		fmt.Printf("pooled delay d          : %s\n", pooled)
+		fmt.Printf("pooled normalized d·μs  : %s\n",
+			stats.CI{Mean: pooled.Mean * muS, HalfWide: pooled.HalfWide * muS, N: pooled.N})
+		return
 	}
 	fmt.Printf("simulated delay d       : %s\n", res.Delay)
 	fmt.Printf("normalized delay d·μs   : %s\n", res.NormalizedDelay)

@@ -7,6 +7,7 @@ import (
 
 	"rsin/internal/omega"
 	"rsin/internal/rng"
+	"rsin/internal/runner"
 )
 
 // BlockingResult summarizes the Section V blocking-probability
@@ -145,8 +146,9 @@ func RenderFig11(w io.Writer) error {
 
 // FigBlocking renders the blocking comparison across request densities
 // as a figure: x is the request probability, the two series are the
-// blocking probabilities of the two disciplines.
-func FigBlocking(size, trials int, seed uint64) Figure {
+// blocking probabilities of the two disciplines. The density points
+// run in parallel on the runner, each from its own derived seed.
+func FigBlocking(size, trials int, q Quality) Figure {
 	fig := Figure{
 		ID:     "blocking",
 		Title:  fmt.Sprintf("Blocking probability on a free %d×%d Omega network", size, size),
@@ -157,8 +159,12 @@ func FigBlocking(size, trials int, seed uint64) Figure {
 	noReSeries := Series{Label: "RSIN without reroute"}
 	addrSeries := Series{Label: "address mapping (random assignment)"}
 	boxSeries := Series{Label: "RSIN boxes per granted request"}
-	for _, pReq := range []float64{0.25, 0.375, 0.5, 0.625, 0.75} {
-		r := Blocking(size, trials, pReq, 0.5, seed)
+	pReqs := []float64{0.25, 0.375, 0.5, 0.625, 0.75}
+	results := runner.Map(q.opts(), len(pReqs), func(i int) BlockingResult {
+		return Blocking(size, trials, pReqs[i], 0.5, runner.DeriveSeed(q.Seed, i, 0))
+	})
+	for i, pReq := range pReqs {
+		r := results[i]
 		rsinSeries.Points = append(rsinSeries.Points, Point{X: pReq, Y: r.RSINBlocked})
 		noReSeries.Points = append(noReSeries.Points, Point{X: pReq, Y: r.NoRerouteBlocked})
 		addrSeries.Points = append(addrSeries.Points, Point{X: pReq, Y: r.AddressBlocked})

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"rsin/internal/config"
+	"rsin/internal/runner"
 	"rsin/internal/workload"
 )
 
@@ -24,27 +25,26 @@ func FigCompare(ratio float64, rhos []float64, q Quality) Figure {
 		YLabel: "d·μs",
 	}
 
-	// SBUS/3 private buses: exact analysis.
+	// SBUS/3 private buses: exact analysis, parallel over the grid.
 	sbus := Series{Label: "16/16x1x1 SBUS/3 (48 res, analytic)"}
 	pts := workload.Sweep(PlantProcessors, muN, muS, PlantResources, rhos)
-	for _, pt := range pts {
+	sbus.Points = runner.Map(q.opts(), len(pts), func(i int) Point {
+		pt := pts[i]
 		d, sat, err := SBUSDelay(SBUSVariant{PrivateR: 3}, pt.Lambda, muN, muS)
 		if err != nil {
 			sat = true
 		}
-		sbus.Points = append(sbus.Points, Point{X: pt.Rho, Y: d, Saturated: sat})
-	}
+		return Point{X: pt.Rho, Y: d, Saturated: sat}
+	})
 	fig.Series = append(fig.Series, sbus)
 
-	for _, s := range []string{
-		"16/4x4x4 OMEGA/2",
-		"16/4x4x4 XBAR/2",
-		"16/1x16x16 OMEGA/2",
-		"16/1x16x16 XBAR/2",
-	} {
-		cfg := config.MustParse(s)
-		fig.Series = append(fig.Series, simSeries(cfg, muN, muS, rhos, q, config.BuildOptions{Seed: q.Seed}))
+	cfgs := []config.Config{
+		config.MustParse("16/4x4x4 OMEGA/2"),
+		config.MustParse("16/4x4x4 XBAR/2"),
+		config.MustParse("16/1x16x16 OMEGA/2"),
+		config.MustParse("16/1x16x16 XBAR/2"),
 	}
+	fig.Series = append(fig.Series, simSeriesSet(cfgs, muN, muS, rhos, q, config.BuildOptions{}, 1)...)
 	fig.Notes = append(fig.Notes,
 		"paper: 16/16×1×1 SBUS/3 has much better delay behavior than 16/4×4×4 OMEGA/2 or XBAR/2",
 	)

@@ -20,6 +20,7 @@ import (
 
 	"rsin/internal/config"
 	"rsin/internal/queueing"
+	"rsin/internal/runner"
 	"rsin/internal/sim"
 	"rsin/internal/workload"
 )
@@ -30,11 +31,19 @@ const (
 	PlantResources  = 32
 )
 
-// Quality selects the simulation effort for simulation-backed figures.
+// Quality selects the simulation effort for simulation-backed figures
+// and how the sweep executes on the parallel runner. Every sweep point
+// (and replication) draws its random streams from seeds derived off
+// Seed with runner.DeriveSeed, so the results are bit-for-bit
+// identical for any Workers value; only the wall-clock time changes.
 type Quality struct {
 	Samples int     // post-warmup delay samples per point
 	Warmup  float64 // warmup period in simulated time units
 	Seed    uint64
+
+	Reps     int                   // independent replications per point, pooled (0/1 = single run)
+	Workers  int                   // worker goroutines for sweeps (0 = runtime.NumCPU())
+	Progress func(done, total int) // optional per-sweep progress callback
 }
 
 // Quick is a fast preset for tests (noisier CIs).
@@ -42,6 +51,19 @@ func Quick() Quality { return Quality{Samples: 20000, Warmup: 500, Seed: 1} }
 
 // Full is the preset used to regenerate the reported figures.
 func Full() Quality { return Quality{Samples: 400000, Warmup: 5000, Seed: 1} }
+
+// reps returns the effective replication count.
+func (q Quality) reps() int {
+	if q.Reps < 1 {
+		return 1
+	}
+	return q.Reps
+}
+
+// opts returns the runner options for this quality.
+func (q Quality) opts() runner.Options {
+	return runner.Options{Workers: q.Workers, Progress: q.Progress}
+}
 
 // Point is one (x, y) sample of a series; simulation-backed points
 // carry a confidence half-width.
@@ -203,31 +225,103 @@ func (f Figure) FindSeries(label string) *Series {
 
 // simSeries runs a simulation sweep of one configuration over the ρ
 // grid and returns its normalized-delay series. Points where the run
-// saturates are marked.
-func simSeries(cfg config.Config, muN, muS float64, rhos []float64, q Quality, opt config.BuildOptions) Series {
-	s := Series{Label: cfg.String()}
+// saturates are marked. It is the single-configuration form of
+// simSeriesSet and shares its seed-derivation scheme.
+func simSeries(cfg config.Config, muN, muS float64, rhos []float64, q Quality, opt config.BuildOptions, series int) Series {
+	return simSeriesSet([]config.Config{cfg}, muN, muS, rhos, q, opt, series)[0]
+}
+
+// simSeriesSet sweeps several configurations over the same ρ grid as
+// one flattened (configuration × point × replication) job set on the
+// parallel runner, so the points of every curve fill the worker pool
+// together. Each job's simulation and network-policy streams are
+// seeded from runner.DeriveSeed — per-series base, per-point, per-rep
+// — fixing the historical bug where every point of every curve reused
+// the identical base seed (fully correlated streams). Results are
+// collected by index: identical output for any worker count.
+//
+// firstSeries is the series index of cfgs[0] within the enclosing
+// figure; it keys the per-series seed derivation, so a series keeps
+// its exact stream whether swept alone or as part of a set.
+func simSeriesSet(cfgs []config.Config, muN, muS float64, rhos []float64, q Quality, opt config.BuildOptions, firstSeries int) []Series {
 	pts := workload.Sweep(PlantProcessors, muN, muS, PlantResources, rhos)
-	for _, pt := range pts {
-		net := cfg.MustBuild(opt)
-		res, err := sim.Run(net, sim.Config{
-			Lambda:  pt.Lambda,
-			MuN:     muN,
-			MuS:     muS,
-			Seed:    q.Seed,
-			Warmup:  q.Warmup,
-			Samples: q.Samples,
-		})
-		if err != nil {
-			s.Points = append(s.Points, Point{X: pt.Rho, Saturated: true})
-			continue
+	reps := q.reps()
+	perCfg := len(pts) * reps
+	run := runner.Map(q.opts(), len(cfgs)*perCfg, func(j int) Point {
+		c, rem := j/perCfg, j%perCfg
+		i, rep := rem/reps, rem%reps
+		base := runner.DeriveSeed(q.Seed, firstSeries+c, 0)
+		return simPoint(cfgs[c], muN, muS, pts[i].Rho, pts[i].Lambda, q, opt, base, i, rep)
+	})
+	out := make([]Series, len(cfgs))
+	for c := range cfgs {
+		s := Series{Label: cfgs[c].String()}
+		for i := range pts {
+			off := c*perCfg + i*reps
+			s.Points = append(s.Points, poolPoint(run[off:off+reps]))
 		}
-		s.Points = append(s.Points, Point{
-			X:        pt.Rho,
-			Y:        res.NormalizedDelay.Mean,
-			HalfWide: res.NormalizedDelay.HalfWide,
-		})
+		out[c] = s
 	}
-	return s
+	return out
+}
+
+// simPoint measures one (point, replication) cell at abscissa x with
+// per-processor arrival rate lambda. The simulation stream uses rep
+// slot 2·rep and the network's internal policy stream 2·rep+1, so the
+// two never collide.
+func simPoint(cfg config.Config, muN, muS, x, lambda float64, q Quality, opt config.BuildOptions, base uint64, point, rep int) Point {
+	opt.Seed = runner.DeriveSeed(base, point, 2*rep+1)
+	net := cfg.MustBuild(opt)
+	res, err := sim.Run(net, sim.Config{
+		Lambda:  lambda,
+		MuN:     muN,
+		MuS:     muS,
+		Seed:    runner.DeriveSeed(base, point, 2*rep),
+		Warmup:  q.Warmup,
+		Samples: q.Samples,
+	})
+	if err != nil {
+		return Point{X: x, Saturated: true}
+	}
+	return Point{
+		X:        x,
+		Y:        res.NormalizedDelay.Mean,
+		HalfWide: res.NormalizedDelay.HalfWide,
+	}
+}
+
+// poolPoint pools the independent replications of one sweep point: the
+// mean of the replication means, with half-widths combined as for
+// independent estimates (√Σh² / n). Any saturated replication marks
+// the whole point saturated — replications disagreeing means the point
+// sits on the capacity edge, where no steady-state estimate is honest.
+func poolPoint(reps []Point) Point {
+	if len(reps) == 1 {
+		return reps[0]
+	}
+	out := Point{X: reps[0].X}
+	var hw2 float64
+	for _, r := range reps {
+		if r.Saturated {
+			return Point{X: r.X, Saturated: true}
+		}
+		out.Y += r.Y
+		hw2 += r.HalfWide * r.HalfWide
+	}
+	n := float64(len(reps))
+	out.Y /= n
+	out.HalfWide = math.Sqrt(hw2) / n
+	return out
+}
+
+// Sweep runs one configuration over the ρ grid at the given μs/μn
+// ratio and returns its normalized-delay series — the exported
+// single-curve entry point used by the CLIs and benchmarks. The sweep
+// executes on the parallel runner with the same seed derivation as the
+// figures (series index 0).
+func Sweep(cfg config.Config, ratio float64, rhos []float64, q Quality) Series {
+	const muN = 1.0
+	return simSeries(cfg, muN, ratio*muN, rhos, q, config.BuildOptions{}, 0)
 }
 
 // rhoFor returns the paper's reference-system traffic intensity for a

@@ -14,7 +14,7 @@ import (
 func testGrid() []float64 { return []float64{0.2, 0.5, 0.8} }
 
 func TestFig4Shapes(t *testing.T) {
-	fig, err := Fig4([]float64{0.2, 0.4, 0.5, 0.64})
+	fig, err := Fig4([]float64{0.2, 0.4, 0.5, 0.64}, Quick())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +63,7 @@ func TestFig4CrossoverNearPaperValue(t *testing.T) {
 	for x := 0.30; x <= 0.90; x += 0.01 {
 		grid = append(grid, math.Round(x*100)/100)
 	}
-	fig, err := Fig4(grid)
+	fig, err := Fig4(grid, Quick())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +86,7 @@ func TestFig4CrossoverNearPaperValue(t *testing.T) {
 }
 
 func TestFig5Shapes(t *testing.T) {
-	fig, err := Fig5([]float64{0.2, 0.5, 0.8})
+	fig, err := Fig5([]float64{0.2, 0.5, 0.8}, Quick())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -232,7 +232,7 @@ func TestBlockingComparison(t *testing.T) {
 }
 
 func TestFigBlockingRenderable(t *testing.T) {
-	fig := FigBlocking(8, 500, 3)
+	fig := FigBlocking(8, 500, Quality{Seed: 3})
 	var sb strings.Builder
 	if err := fig.Render(&sb); err != nil {
 		t.Fatal(err)
@@ -368,7 +368,7 @@ func TestTableII(t *testing.T) {
 }
 
 func TestRenderFigure(t *testing.T) {
-	fig, err := Fig4([]float64{0.2, 0.8})
+	fig, err := Fig4([]float64{0.2, 0.8}, Quick())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -32,9 +32,7 @@ func FigOmega(id string, ratio float64, rhos []float64, q Quality) Figure {
 		XLabel: "rho",
 		YLabel: "d·μs",
 	}
-	for _, cfg := range omegaConfigs() {
-		fig.Series = append(fig.Series, simSeries(cfg, muN, muS, rhos, q, config.BuildOptions{Seed: q.Seed}))
-	}
+	fig.Series = simSeriesSet(omegaConfigs(), muN, muS, rhos, q, config.BuildOptions{}, 0)
 	fig.Notes = append(fig.Notes,
 		"distributed scheduling: status bits propagate backward, requests route forward with reject/reroute",
 	)

@@ -5,6 +5,7 @@ import (
 
 	"rsin/internal/markov"
 	"rsin/internal/queueing"
+	"rsin/internal/runner"
 	"rsin/internal/workload"
 )
 
@@ -73,8 +74,10 @@ func sbusMarkov(mp markov.Params) (float64, bool, error) {
 // FigSBUS regenerates Fig. 4 (ratio = 0.1) or Fig. 5 (ratio = 1.0):
 // normalized queueing delay of the single-shared-bus variants versus
 // traffic intensity, computed with the exact Markov analysis of
-// Section III.
-func FigSBUS(id string, ratio float64, rhos []float64) (Figure, error) {
+// Section III. The (variant × point) grid is evaluated in parallel on
+// the runner; the analysis is exact, so no seeds are involved and the
+// output is identical for any q.Workers.
+func FigSBUS(id string, ratio float64, rhos []float64, q Quality) (Figure, error) {
 	const muN = 1.0
 	muS := ratio * muN // μs/μn = ratio
 	fig := Figure{
@@ -84,14 +87,24 @@ func FigSBUS(id string, ratio float64, rhos []float64) (Figure, error) {
 		YLabel: "d·μs",
 	}
 	pts := workload.Sweep(PlantProcessors, muN, muS, PlantResources, rhos)
-	for _, v := range sbusVariants() {
+	variants := sbusVariants()
+	type cell struct {
+		p   Point
+		err error
+	}
+	cells := runner.Map(q.opts(), len(variants)*len(pts), func(j int) cell {
+		v, pt := variants[j/len(pts)], pts[j%len(pts)]
+		d, sat, err := SBUSDelay(v, pt.Lambda, muN, muS)
+		return cell{p: Point{X: pt.Rho, Y: d, Saturated: sat}, err: err}
+	})
+	for vi, v := range variants {
 		s := Series{Label: v.Label}
-		for _, pt := range pts {
-			d, sat, err := SBUSDelay(v, pt.Lambda, muN, muS)
-			if err != nil {
-				return Figure{}, fmt.Errorf("experiments: %s at rho=%g: %w", v.Label, pt.Rho, err)
+		for pi, pt := range pts {
+			c := cells[vi*len(pts)+pi]
+			if c.err != nil {
+				return Figure{}, fmt.Errorf("experiments: %s at rho=%g: %w", v.Label, pt.Rho, c.err)
 			}
-			s.Points = append(s.Points, Point{X: pt.Rho, Y: d, Saturated: sat})
+			s.Points = append(s.Points, c.p)
 		}
 		fig.Series = append(fig.Series, s)
 	}
@@ -103,7 +116,7 @@ func FigSBUS(id string, ratio float64, rhos []float64) (Figure, error) {
 }
 
 // Fig4 regenerates the paper's Fig. 4 (μs/μn = 0.1).
-func Fig4(rhos []float64) (Figure, error) { return FigSBUS("fig4", 0.1, rhos) }
+func Fig4(rhos []float64, q Quality) (Figure, error) { return FigSBUS("fig4", 0.1, rhos, q) }
 
 // Fig5 regenerates the paper's Fig. 5 (μs/μn = 1.0).
-func Fig5(rhos []float64) (Figure, error) { return FigSBUS("fig5", 1.0, rhos) }
+func Fig5(rhos []float64, q Quality) (Figure, error) { return FigSBUS("fig5", 1.0, rhos, q) }

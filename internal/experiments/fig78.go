@@ -32,9 +32,7 @@ func FigXBAR(id string, ratio float64, rhos []float64, q Quality) Figure {
 		XLabel: "rho",
 		YLabel: "d·μs",
 	}
-	for _, cfg := range xbarConfigs() {
-		fig.Series = append(fig.Series, simSeries(cfg, muN, muS, rhos, q, config.BuildOptions{Seed: q.Seed}))
-	}
+	fig.Series = simSeriesSet(xbarConfigs(), muN, muS, rhos, q, config.BuildOptions{}, 0)
 	fig.Notes = append(fig.Notes,
 		"XBAR/1 gives every resource a private output port; XBAR/2 shares each port between two resources",
 	)

@@ -11,6 +11,7 @@ import (
 	"rsin/internal/cost"
 	"rsin/internal/markov"
 	"rsin/internal/queueing"
+	"rsin/internal/runner"
 	"rsin/internal/sim"
 )
 
@@ -90,15 +91,27 @@ func Frontier(m cost.Model, budget, ratio, rho float64, q Quality) ([]FrontierEn
 			if err != nil {
 				return nil, err
 			}
-			e := FrontierEntry{
+			entries = append(entries, FrontierEntry{
 				Config:  c,
 				Cost:    tc,
 				NetCost: nc,
 				Regime:  cost.Classify(nc, m.ResourceCost(c)),
-			}
-			e.Delay, e.Saturated = frontierDelay(c, muN, muS, rho, q)
-			entries = append(entries, e)
+			})
 		}
+	}
+	// The costs above are cheap arithmetic; the delays are simulations
+	// (except SBUS), so measure every candidate in parallel on the
+	// runner, each from its own derived seed base.
+	type measured struct {
+		delay     float64
+		saturated bool
+	}
+	delays := runner.Map(q.opts(), len(entries), func(i int) measured {
+		d, sat := frontierDelay(entries[i].Config, muN, muS, rho, q, runner.DeriveSeed(q.Seed, i, 0))
+		return measured{delay: d, saturated: sat}
+	})
+	for i := range entries {
+		entries[i].Delay, entries[i].Saturated = delays[i].delay, delays[i].saturated
 	}
 	sort.Slice(entries, func(i, j int) bool {
 		if entries[i].Saturated != entries[j].Saturated {
@@ -110,10 +123,11 @@ func Frontier(m cost.Model, budget, ratio, rho float64, q Quality) ([]FrontierEn
 }
 
 // frontierDelay evaluates one configuration at the operating point:
-// exactly for SBUS systems, by simulation otherwise. The arrival rate
-// keeps the paper's reference-system ρ definition (16 processors, 32
-// reference resources) so all candidates face the same offered load.
-func frontierDelay(c config.Config, muN, muS, rho float64, q Quality) (float64, bool) {
+// exactly for SBUS systems, by simulation otherwise (seeded from the
+// candidate's derived seed base). The arrival rate keeps the paper's
+// reference-system ρ definition (16 processors, 32 reference
+// resources) so all candidates face the same offered load.
+func frontierDelay(c config.Config, muN, muS, rho float64, q Quality, seed uint64) (float64, bool) {
 	lambda := queueing.LambdaForIntensity(rho, PlantProcessors, muN, muS, PlantResources)
 	if c.Type == config.SBUS {
 		res, err := markov.SolveMatrixGeometric(markov.Params{
@@ -124,10 +138,10 @@ func frontierDelay(c config.Config, muN, muS, rho float64, q Quality) (float64, 
 		}
 		return res.NormalizedDelay, false
 	}
-	net := c.MustBuild(config.BuildOptions{Seed: q.Seed})
+	net := c.MustBuild(config.BuildOptions{Seed: runner.DeriveSeed(seed, 0, 1)})
 	res, err := sim.Run(net, sim.Config{
 		Lambda: lambda, MuN: muN, MuS: muS,
-		Seed: q.Seed, Warmup: q.Warmup, Samples: q.Samples,
+		Seed: runner.DeriveSeed(seed, 0, 0), Warmup: q.Warmup, Samples: q.Samples,
 	})
 	if err != nil {
 		return 0, true

@@ -5,7 +5,7 @@ import (
 
 	"rsin/internal/config"
 	"rsin/internal/queueing"
-	"rsin/internal/sim"
+	"rsin/internal/runner"
 )
 
 // FigRatioSweep sweeps the decisive parameter of Section VI — the ratio
@@ -30,25 +30,23 @@ func FigRatioSweep(rho float64, ratios []float64, q Quality) Figure {
 		config.MustParse("16/1x16x16 OMEGA/2"),
 		config.MustParse("16/16x1x1 SBUS/2"),
 	}
-	for _, cfg := range configs {
+	// Flatten (configuration × ratio × replication) into one runner job
+	// set with per-point derived seeds; collect by index.
+	reps := q.reps()
+	perCfg := len(ratios) * reps
+	run := runner.Map(q.opts(), len(configs)*perCfg, func(j int) Point {
+		c, rem := j/perCfg, j%perCfg
+		ri, rep := rem/reps, rem%reps
+		muS := ratios[ri] * muN
+		lambda := queueing.LambdaForIntensity(rho, PlantProcessors, muN, muS, PlantResources)
+		base := runner.DeriveSeed(q.Seed, c, 0)
+		return simPoint(configs[c], muN, muS, ratios[ri], lambda, q, config.BuildOptions{}, base, ri, rep)
+	})
+	for c, cfg := range configs {
 		s := Series{Label: cfg.String()}
-		for _, ratio := range ratios {
-			muS := ratio * muN
-			lambda := queueing.LambdaForIntensity(rho, PlantProcessors, muN, muS, PlantResources)
-			net := cfg.MustBuild(config.BuildOptions{Seed: q.Seed})
-			res, err := sim.Run(net, sim.Config{
-				Lambda: lambda, MuN: muN, MuS: muS,
-				Seed: q.Seed, Warmup: q.Warmup, Samples: q.Samples,
-			})
-			if err != nil {
-				s.Points = append(s.Points, Point{X: ratio, Saturated: true})
-				continue
-			}
-			s.Points = append(s.Points, Point{
-				X:        ratio,
-				Y:        res.NormalizedDelay.Mean,
-				HalfWide: res.NormalizedDelay.HalfWide,
-			})
+		for ri := range ratios {
+			off := c*perCfg + ri*reps
+			s.Points = append(s.Points, poolPoint(run[off:off+reps]))
 		}
 		fig.Series = append(fig.Series, s)
 	}

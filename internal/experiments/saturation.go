@@ -6,6 +6,7 @@ import (
 	"rsin/internal/config"
 	"rsin/internal/markov"
 	"rsin/internal/queueing"
+	"rsin/internal/runner"
 	"rsin/internal/sim"
 )
 
@@ -25,9 +26,12 @@ func SaturationSearch(cfg config.Config, ratio float64, q Quality) float64 {
 	muS := ratio * muN
 	lo, hi := 0.0, 2.0
 	// 10 bisections give ρ* to ±0.001·2 — far below simulation noise.
+	// The probes are inherently sequential (each depends on the last
+	// verdict), but each draws a fresh derived stream so consecutive
+	// probes are statistically independent.
 	for iter := 0; iter < 10; iter++ {
 		mid := (lo + hi) / 2
-		if saturatedAt(cfg, muN, muS, mid, q) {
+		if saturatedAt(cfg, muN, muS, mid, q, iter) {
 			hi = mid
 		} else {
 			lo = mid
@@ -36,8 +40,21 @@ func SaturationSearch(cfg config.Config, ratio float64, q Quality) float64 {
 	return (lo + hi) / 2
 }
 
-// saturatedAt probes one operating point.
-func saturatedAt(cfg config.Config, muN, muS, rho float64, q Quality) bool {
+// SaturationProfile estimates ρ* for every configuration in parallel
+// on the runner, each search drawing from its own derived seed base.
+// Results are indexed like cfgs and identical for any q.Workers.
+func SaturationProfile(cfgs []config.Config, ratio float64, q Quality) []float64 {
+	return runner.Map(q.opts(), len(cfgs), func(i int) float64 {
+		qi := q
+		qi.Seed = runner.DeriveSeed(q.Seed, i, 0)
+		qi.Progress = nil // the outer Map reports per-configuration
+		return SaturationSearch(cfgs[i], ratio, qi)
+	})
+}
+
+// saturatedAt probes one operating point. probe indexes the bisection
+// step and keys the derived seeds of the probe's random streams.
+func saturatedAt(cfg config.Config, muN, muS, rho float64, q Quality, probe int) bool {
 	lambda := queueing.LambdaForIntensity(rho, PlantProcessors, muN, muS, PlantResources)
 	if cfg.Type == config.SBUS {
 		// Exact: compare the per-bus arrival rate against the drift
@@ -45,14 +62,14 @@ func saturatedAt(cfg config.Config, muN, muS, rho float64, q Quality) bool {
 		perBus := float64(cfg.Inputs) * lambda
 		return perBus >= markov.Capacity(muN, muS, cfg.PerPort)
 	}
-	net := cfg.MustBuild(config.BuildOptions{Seed: q.Seed})
+	net := cfg.MustBuild(config.BuildOptions{Seed: runner.DeriveSeed(q.Seed, probe, 1)})
 	samples := q.Samples
 	if samples < 40000 {
 		samples = 40000 // give slow divergence time to express itself
 	}
 	_, err := sim.Run(net, sim.Config{
 		Lambda: lambda, MuN: muN, MuS: muS,
-		Seed: q.Seed, Warmup: q.Warmup, Samples: samples,
+		Seed: runner.DeriveSeed(q.Seed, probe, 0), Warmup: q.Warmup, Samples: samples,
 		MaxQueue: 300,
 	})
 	return errors.Is(err, sim.ErrSaturated)

@@ -30,10 +30,13 @@ func TestSaturationMatchesMarkovCapacity(t *testing.T) {
 func TestSaturationOrdering(t *testing.T) {
 	q := Quality{Samples: 15000, Warmup: 500, Seed: 1}
 	ratio := 0.1
-	full := SaturationSearch(config.MustParse("16/1x16x32 XBAR/1"), ratio, q)
-	part := SaturationSearch(config.MustParse("16/4x4x4 XBAR/2"), ratio, q)
-	omega := SaturationSearch(config.MustParse("16/1x16x16 OMEGA/2"), ratio, q)
-	tiny := SaturationSearch(config.MustParse("16/8x2x2 OMEGA/2"), ratio, q)
+	rhoStars := SaturationProfile([]config.Config{
+		config.MustParse("16/1x16x32 XBAR/1"),
+		config.MustParse("16/4x4x4 XBAR/2"),
+		config.MustParse("16/1x16x16 OMEGA/2"),
+		config.MustParse("16/8x2x2 OMEGA/2"),
+	}, ratio, q)
+	full, part, omega, tiny := rhoStars[0], rhoStars[1], rhoStars[2], rhoStars[3]
 	if !(full >= part-0.05) {
 		t.Errorf("full crossbar ρ* %.3f should be ≥ partitioned %.3f", full, part)
 	}
@@ -41,8 +44,9 @@ func TestSaturationOrdering(t *testing.T) {
 		t.Errorf("full omega ρ* %.3f should be ≥ eight 2x2 %.3f", omega, tiny)
 	}
 	// All pooled-resource systems at μs/μn=0.1 saturate well above the
-	// single-shared-bus reference point.
-	sbus1 := SaturationSearch(config.MustParse("16/1x16x1 SBUS/32"), ratio, q)
+	// single-shared-bus reference point. (A lone search must agree with
+	// a profile of one: both derive the same per-config seed base.)
+	sbus1 := SaturationProfile([]config.Config{config.MustParse("16/1x16x1 SBUS/32")}, ratio, q)[0]
 	if !(full > sbus1 && omega > sbus1) {
 		t.Errorf("networks (%.3f, %.3f) should out-carry the single bus (%.3f)", full, omega, sbus1)
 	}

@@ -1,0 +1,153 @@
+// Package runner is the parallel sweep-execution engine behind the
+// experiment harness. Every figure of the paper's evaluation is a grid
+// of independent operating points (a configuration at a traffic
+// intensity, possibly replicated); the runner fans those points across
+// a pool of goroutines while keeping the results **bit-for-bit
+// deterministic**: each job's pseudo-random stream is derived only from
+// the job's index (DeriveSeed), and results are collected by index, so
+// the output is identical for any worker count and any scheduling
+// order.
+//
+// The package deliberately knows nothing about simulations or figures;
+// it provides an indexed parallel map, the seed-derivation scheme, and
+// a small progress reporter. The experiment code composes these.
+package runner
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Options tune one parallel execution.
+type Options struct {
+	// Workers is the number of goroutines executing jobs. Zero or
+	// negative means runtime.NumCPU(). The result of Map does not
+	// depend on Workers — only the wall-clock time does.
+	Workers int
+
+	// Progress, when non-nil, is called after each completed job with
+	// the number of finished jobs and the total. Calls are serialized
+	// (never concurrent) but may arrive in any completion order; done
+	// is strictly increasing across calls.
+	Progress func(done, total int)
+}
+
+// workers resolves the effective worker count for n jobs.
+func (o Options) workers(n int) int {
+	w := o.Workers
+	if w <= 0 {
+		w = runtime.NumCPU()
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Map runs fn(i) for every i in [0, n) on a pool of opt.Workers
+// goroutines and returns the results indexed by i. Job i's result is
+// always stored at slot i, so the returned slice is independent of the
+// worker count and of goroutine scheduling; determinism of the whole
+// computation then only requires that fn(i) itself is a pure function
+// of i (derive any randomness from DeriveSeed with i as the point
+// index).
+//
+// fn must not panic in normal operation: a panic inside a worker
+// goroutine terminates the process.
+func Map[T any](opt Options, n int, fn func(i int) T) []T {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]T, n)
+	w := opt.workers(n)
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			out[i] = fn(i)
+			if opt.Progress != nil {
+				opt.Progress(i+1, n)
+			}
+		}
+		return out
+	}
+	var next, done atomic.Int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i] = fn(i)
+				d := int(done.Add(1))
+				if opt.Progress != nil {
+					mu.Lock()
+					opt.Progress(d, n)
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// splitmix is the splitmix64 step: add the golden-ratio increment and
+// apply the avalanching finalizer. It is a bijection on uint64.
+func splitmix(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// DeriveSeed deterministically derives an independent PRNG seed for the
+// (base, point, rep) triple by chaining splitmix64 finalizations —
+// the construction the xoshiro authors recommend for spawning
+// non-overlapping streams. Distinct triples yield distinct,
+// uncorrelated seeds with overwhelming probability, so every sweep
+// point and every replication gets its own random stream instead of
+// all points replaying the identical stream from a shared base seed.
+//
+// The rep axis is also used to separate the *purposes* a single job
+// needs randomness for (e.g. even reps for the simulation stream, odd
+// reps for the network's internal policy stream), not only literal
+// replications.
+func DeriveSeed(base uint64, point, rep int) uint64 {
+	z := splitmix(base)
+	z = splitmix(z ^ (uint64(int64(point)) + 0x9e3779b97f4a7c15))
+	z = splitmix(z ^ (uint64(int64(rep)) + 0xbf58476d1ce4e5b9))
+	return z
+}
+
+// Progress state for the line printer.
+type printer struct {
+	w     io.Writer
+	label string
+	start time.Time
+}
+
+// Printer returns a Progress callback that rewrites a single status
+// line on w ("label: done/total") and, on the final job, replaces it
+// with a completion line including the elapsed wall-clock time.
+func Printer(w io.Writer, label string) func(done, total int) {
+	p := &printer{w: w, label: label, start: time.Now()}
+	return func(done, total int) {
+		if done < total {
+			fmt.Fprintf(p.w, "\r%s: %d/%d", p.label, done, total)
+			return
+		}
+		fmt.Fprintf(p.w, "\r%s: %d/%d done in %s\n",
+			p.label, done, total, time.Since(p.start).Round(time.Millisecond))
+	}
+}
