@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"rsin/internal/config"
+	"rsin/internal/core"
 	"rsin/internal/crossbar"
 	"rsin/internal/experiments"
 	"rsin/internal/markov"
@@ -23,6 +24,33 @@ import (
 // benchGrid is the ρ grid used by the benchmark harness: small enough
 // to keep -bench runs quick, wide enough to span the paper's range.
 func benchGrid() []float64 { return []float64{0.2, 0.5, 0.8} }
+
+// benchNet parses and builds a configuration, failing the bench on
+// error.
+func benchNet(b *testing.B, s string, opt config.BuildOptions) core.Network {
+	b.Helper()
+	cfg, err := config.Parse(s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	net, err := cfg.Build(opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return net
+}
+
+// benchFig returns an unwrapper for (Figure, error) pairs that fails
+// the bench on error. Usage: benchFig(b)(experiments.Fig7(...)).
+func benchFig(b *testing.B) func(experiments.Figure, error) experiments.Figure {
+	return func(fig experiments.Figure, err error) experiments.Figure {
+		b.Helper()
+		if err != nil {
+			b.Fatal(err)
+		}
+		return fig
+	}
+}
 
 func benchQuality() experiments.Quality {
 	return experiments.Quality{Samples: 50000, Warmup: 1000, Seed: 1}
@@ -60,7 +88,7 @@ func BenchmarkFig5(b *testing.B) {
 // simulation).
 func BenchmarkFig7(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		fig := experiments.Fig7(benchGrid(), benchQuality())
+		fig := benchFig(b)(experiments.Fig7(benchGrid(), benchQuality()))
 		if i == 0 {
 			b.ReportMetric(fig.FindSeries("16/1x16x32 XBAR/1").At(0.5), "d·μs(XBAR/1,ρ=.5)")
 		}
@@ -70,7 +98,7 @@ func BenchmarkFig7(b *testing.B) {
 // BenchmarkFig8 regenerates Fig. 8 (XBAR delays, μs/μn = 1.0).
 func BenchmarkFig8(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		fig := experiments.Fig8(benchGrid(), benchQuality())
+		fig := benchFig(b)(experiments.Fig8(benchGrid(), benchQuality()))
 		if i == 0 {
 			b.ReportMetric(fig.FindSeries("16/1x16x32 XBAR/1").At(0.5), "d·μs(XBAR/1,ρ=.5)")
 		}
@@ -80,7 +108,7 @@ func BenchmarkFig8(b *testing.B) {
 // BenchmarkFig12 regenerates Fig. 12 (Omega delays, μs/μn = 0.1).
 func BenchmarkFig12(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		fig := experiments.Fig12(benchGrid(), benchQuality())
+		fig := benchFig(b)(experiments.Fig12(benchGrid(), benchQuality()))
 		if i == 0 {
 			b.ReportMetric(fig.FindSeries("16/1x16x16 OMEGA/2").At(0.5), "d·μs(16x16,ρ=.5)")
 			b.ReportMetric(fig.FindSeries("16/8x2x2 OMEGA/2").At(0.5), "d·μs(8x2x2,ρ=.5)")
@@ -91,7 +119,7 @@ func BenchmarkFig12(b *testing.B) {
 // BenchmarkFig13 regenerates Fig. 13 (Omega delays, μs/μn = 1.0).
 func BenchmarkFig13(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		fig := experiments.Fig13(benchGrid(), benchQuality())
+		fig := benchFig(b)(experiments.Fig13(benchGrid(), benchQuality()))
 		if i == 0 {
 			b.ReportMetric(fig.FindSeries("16/1x16x16 OMEGA/2").At(0.5), "d·μs(16x16,ρ=.5)")
 		}
@@ -114,7 +142,7 @@ func BenchmarkBlocking(b *testing.B) {
 // BenchmarkCompare regenerates the Section VI cross-network comparison.
 func BenchmarkCompare(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		fig := experiments.FigCompare(0.1, []float64{0.9}, benchQuality())
+		fig := benchFig(b)(experiments.FigCompare(0.1, []float64{0.9}, benchQuality()))
 		if i == 0 {
 			b.ReportMetric(fig.Series[0].At(0.9), "d·μs(SBUS/3,ρ=.9)")
 			b.ReportMetric(fig.FindSeries("16/4x4x4 OMEGA/2").At(0.9), "d·μs(OMEGA,ρ=.9)")
@@ -140,7 +168,7 @@ func BenchmarkOmegaReroutePolicy(b *testing.B) {
 	run := func(b *testing.B, noReroute bool) {
 		lambda := queueing.LambdaForIntensity(0.6, 16, 1, 0.1, 32)
 		for i := 0; i < b.N; i++ {
-			net := config.MustParse("16/1x16x16 OMEGA/2").MustBuild(config.BuildOptions{NoReroute: noReroute})
+			net := benchNet(b, "16/1x16x16 OMEGA/2", config.BuildOptions{NoReroute: noReroute})
 			res, err := sim.Run(net, sim.Config{
 				Lambda: lambda, MuN: 1, MuS: 0.1, Seed: 1, Warmup: 1000, Samples: 50000,
 			})
@@ -223,7 +251,7 @@ func BenchmarkRetryJitter(b *testing.B) {
 	for _, jitter := range []float64{0, 0.1, 0.5} {
 		b.Run(fmt.Sprintf("jitter=%g", jitter), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				net := config.MustParse("16/1x16x16 OMEGA/2").MustBuild(config.BuildOptions{})
+				net := benchNet(b, "16/1x16x16 OMEGA/2", config.BuildOptions{})
 				res, err := sim.Run(net, sim.Config{
 					Lambda: lambda, MuN: 1, MuS: 0.1,
 					Seed: 1, Warmup: 1000, Samples: 50000, RetryJitter: jitter,
@@ -247,7 +275,7 @@ func BenchmarkWiringComparison(b *testing.B) {
 	for _, s := range []string{"16/1x16x16 OMEGA/2", "16/1x16x16 CUBE/2"} {
 		b.Run(s, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				net := config.MustParse(s).MustBuild(config.BuildOptions{})
+				net := benchNet(b, s, config.BuildOptions{})
 				res, err := sim.Run(net, sim.Config{
 					Lambda: lambda, MuN: 1, MuS: 0.1,
 					Seed: 1, Warmup: 1000, Samples: 50000,
@@ -320,7 +348,7 @@ func BenchmarkEngineThroughput(b *testing.B) {
 	for _, s := range []string{"16/16x1x1 SBUS/2", "16/1x16x16 XBAR/2", "16/1x16x16 OMEGA/2"} {
 		b.Run(s, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				net := config.MustParse(s).MustBuild(config.BuildOptions{})
+				net := benchNet(b, s, config.BuildOptions{})
 				if _, err := sim.Run(net, sim.Config{
 					Lambda: lambda, MuN: 1, MuS: 0.1, Seed: 1, Warmup: 100, Samples: 20000,
 				}); err != nil {
@@ -340,11 +368,17 @@ func BenchmarkEngineThroughput(b *testing.B) {
 // `go test -bench ParallelSweep -benchtime 1x`).
 func BenchmarkParallelSweep(b *testing.B) {
 	grid := []float64{0.2, 0.4, 0.6, 0.8}
-	cfg := config.MustParse("16/1x16x16 OMEGA/2")
+	cfg, err := config.Parse("16/1x16x16 OMEGA/2")
+	if err != nil {
+		b.Fatal(err)
+	}
 	render := func(workers int) string {
 		q := experiments.Full()
 		q.Workers = workers
-		s := experiments.Sweep(cfg, 0.1, grid, q)
+		s, err := experiments.Sweep(cfg, 0.1, grid, q)
+		if err != nil {
+			b.Fatal(err)
+		}
 		var sb strings.Builder
 		fig := experiments.Figure{ID: "bench", XLabel: "rho", Series: []experiments.Series{s}}
 		if err := fig.RenderCSV(&sb); err != nil {

@@ -31,6 +31,7 @@ import (
 
 	"rsin/internal/cost"
 	"rsin/internal/experiments"
+	"rsin/internal/invariant"
 	"rsin/internal/runner"
 	"rsin/internal/workload"
 )
@@ -44,8 +45,12 @@ func main() {
 		reps     = flag.Int("reps", 1, "independent replications per sweep point, pooled into one estimate")
 		progress = flag.Bool("progress", false, "report live per-sweep progress on stderr")
 		timing   = flag.Bool("timing", true, "report per-artifact wall-clock timing on stderr")
+		check    = flag.Bool("check", false, "enable runtime model-invariant checks (see internal/invariant)")
 	)
 	flag.Parse()
+	if *check {
+		invariant.Enable(true)
+	}
 
 	q := experiments.Full()
 	if *quick {
@@ -79,13 +84,29 @@ func main() {
 			}
 			return render(fig)
 		case "7":
-			return render(experiments.Fig7(rhos, q))
+			fig, err := experiments.Fig7(rhos, q)
+			if err != nil {
+				return err
+			}
+			return render(fig)
 		case "8":
-			return render(experiments.Fig8(rhos, q))
+			fig, err := experiments.Fig8(rhos, q)
+			if err != nil {
+				return err
+			}
+			return render(fig)
 		case "12":
-			return render(experiments.Fig12(rhos, q))
+			fig, err := experiments.Fig12(rhos, q)
+			if err != nil {
+				return err
+			}
+			return render(fig)
 		case "13":
-			return render(experiments.Fig13(rhos, q))
+			fig, err := experiments.Fig13(rhos, q)
+			if err != nil {
+				return err
+			}
+			return render(fig)
 		case "blocking":
 			trials := 200000
 			if *quick {
@@ -93,7 +114,11 @@ func main() {
 			}
 			return render(experiments.FigBlocking(8, trials, q))
 		case "compare":
-			return render(experiments.FigCompare(0.1, rhos, q))
+			fig, err := experiments.FigCompare(0.1, rhos, q)
+			if err != nil {
+				return err
+			}
+			return render(fig)
 		case "11":
 			return experiments.RenderFig11(os.Stdout)
 		case "table1":
@@ -101,7 +126,11 @@ func main() {
 		case "table2":
 			return experiments.RenderTableII(os.Stdout)
 		case "ratio":
-			return render(experiments.FigRatioSweep(0.7, experiments.PaperRatioGrid(), q))
+			fig, err := experiments.FigRatioSweep(0.7, experiments.PaperRatioGrid(), q)
+			if err != nil {
+				return err
+			}
+			return render(fig)
 		case "frontier":
 			for _, fc := range []struct {
 				title   string

@@ -1,0 +1,84 @@
+// Command rsinlint runs the project's determinism analyzers (norand,
+// noclock, maporder, seedflow) over packages of this module. It is
+// built only on the standard library — no golang.org/x/tools — so it
+// works in the dependency-free build environment.
+//
+// Usage:
+//
+//	go run ./cmd/rsinlint [-tags taglist] [packages]
+//
+// Package patterns are module-relative ("./...", "./internal/sim");
+// the default is "./...". The exit status is 1 if any analyzer
+// reported a diagnostic, 2 on operational errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"rsin/internal/lint"
+)
+
+func main() {
+	tags := flag.String("tags", "", "comma-separated build tags to apply when selecting files")
+	flag.Parse()
+	if err := run(*tags, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "rsinlint:", err)
+		os.Exit(2)
+	}
+}
+
+func run(tags string, patterns []string) error {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		return err
+	}
+	root, modPath, err := lint.FindModule(cwd)
+	if err != nil {
+		return err
+	}
+	var tagList []string
+	for _, t := range strings.Split(tags, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			tagList = append(tagList, t)
+		}
+	}
+	loader := lint.NewLoader(root, modPath, tagList)
+	paths, err := loader.Packages(patterns)
+	if err != nil {
+		return err
+	}
+	if len(paths) == 0 {
+		return fmt.Errorf("no packages match %v", patterns)
+	}
+	analyzers := lint.All()
+	var count int
+	for _, path := range paths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			return err
+		}
+		diags, err := lint.Run(pkg, loader.Fset, analyzers)
+		if err != nil {
+			return err
+		}
+		for _, d := range diags {
+			name := d.Pos.Filename
+			if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
+				name = rel
+			}
+			fmt.Printf("%s:%d:%d: [%s] %s\n", name, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+			count++
+		}
+	}
+	if count > 0 {
+		os.Exit(1)
+	}
+	return nil
+}

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"rsin/internal/config"
+	"rsin/internal/invariant"
 	"rsin/internal/markov"
 	"rsin/internal/queueing"
 	"rsin/internal/runner"
@@ -46,8 +47,12 @@ func main() {
 		reps     = flag.Int("reps", 1, "independent replications, pooled into one estimate")
 		workers  = flag.Int("workers", 0, "worker goroutines for replications (0 = all CPUs)")
 		analytic = flag.Bool("analytic", false, "use the exact Markov analysis (SBUS configurations only)")
+		check    = flag.Bool("check", false, "enable runtime model-invariant checks (see internal/invariant)")
 	)
 	flag.Parse()
+	if *check {
+		invariant.Enable(true)
+	}
 
 	cfg, err := config.Parse(*cfgStr)
 	if err != nil {
@@ -93,7 +98,10 @@ func main() {
 		err error
 	}
 	outs := runner.Map(runner.Options{Workers: *workers}, *reps, func(r int) repOut {
-		net := cfg.MustBuild(config.BuildOptions{Seed: runner.DeriveSeed(*seed, 0, 2*r+1)})
+		net, err := cfg.Build(config.BuildOptions{Seed: runner.DeriveSeed(*seed, 0, 2*r+1)})
+		if err != nil {
+			return repOut{err: err}
+		}
 		res, err := sim.Run(net, sim.Config{
 			Lambda: lam, MuN: muN, MuS: muS,
 			Seed: runner.DeriveSeed(*seed, 0, 2*r), Warmup: *warmup, Samples: *samples,

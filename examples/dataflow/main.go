@@ -18,6 +18,7 @@ package main
 
 import (
 	"fmt"
+	"log"
 
 	"rsin/internal/config"
 	"rsin/internal/queueing"
@@ -48,8 +49,14 @@ func main() {
 		}
 		var rows []row
 		for _, s := range candidates {
-			cfg := config.MustParse(s)
-			net := cfg.MustBuild(config.BuildOptions{Seed: 3})
+			cfg, err := config.Parse(s)
+			if err != nil {
+				log.Fatal(err)
+			}
+			net, err := cfg.Build(config.BuildOptions{Seed: 3})
+			if err != nil {
+				log.Fatal(err)
+			}
 			res, err := sim.Run(net, sim.Config{
 				Lambda: lambda, MuN: muN, MuS: muS,
 				Seed: 3, Warmup: 2000, Samples: 150000,

@@ -15,6 +15,7 @@ package main
 
 import (
 	"fmt"
+	"log"
 
 	"rsin/internal/config"
 	"rsin/internal/sim"
@@ -50,8 +51,14 @@ func main() {
 	}
 	fmt.Printf("%-22s | %-22s | %-10s | %s\n", "configuration", "offload delay d", "port util", "blocked%")
 	for _, s := range candidates {
-		cfg := config.MustParse(s)
-		net := cfg.MustBuild(config.BuildOptions{Seed: 5})
+		cfg, err := config.Parse(s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		net, err := cfg.Build(config.BuildOptions{Seed: 5})
+		if err != nil {
+			log.Fatal(err)
+		}
 		res, err := sim.Run(net, sim.Config{
 			Lambdas: lambdas, MuN: muN, MuS: muS,
 			Seed: 5, Warmup: 3000, Samples: 200000,

@@ -21,8 +21,14 @@ func main() {
 	// A system of 16 processors sharing 32 identical resources through
 	// one 16×16 Omega network with two resources per output port —
 	// "16/1×16×16 OMEGA/2" in the paper's p/i×j×k NET/r notation.
-	cfg := config.MustParse("16/1x16x16 OMEGA/2")
-	net := cfg.MustBuild(config.BuildOptions{Seed: 42})
+	cfg, err := config.Parse("16/1x16x16 OMEGA/2")
+	if err != nil {
+		log.Fatal(err)
+	}
+	net, err := cfg.Build(config.BuildOptions{Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// Operating point: transmission rate μn = 1, service rate μs = 0.1
 	// (tasks take 10× longer to execute than to ship), and a
@@ -54,8 +60,15 @@ func main() {
 	// The same resources behind sixteen private buses — the degenerate
 	// RSIN the paper analyzes exactly. Simulation and the Section III
 	// Markov chain agree.
-	private := config.MustParse("16/16x1x1 SBUS/2")
-	simRes, err := sim.Run(private.MustBuild(config.BuildOptions{}), sim.Config{
+	private, err := config.Parse("16/16x1x1 SBUS/2")
+	if err != nil {
+		log.Fatal(err)
+	}
+	privateNet, err := private.Build(config.BuildOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	simRes, err := sim.Run(privateNet, sim.Config{
 		Lambda: lambda, MuN: muN, MuS: muS, Seed: 7, Warmup: 2000, Samples: 200000,
 	})
 	if err != nil {

@@ -49,11 +49,17 @@ func main() {
 	best := map[float64]string{}
 	bestVal := map[float64]float64{}
 	for _, s := range candidates {
-		cfg := config.MustParse(s)
+		cfg, err := config.Parse(s)
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("%-22s", s)
 		for _, rho := range loads {
 			// A fresh network per run: sim.Run requires an idle network.
-			net := cfg.MustBuild(config.BuildOptions{Seed: 11})
+			net, err := cfg.Build(config.BuildOptions{Seed: 11})
+			if err != nil {
+				log.Fatal(err)
+			}
 			lambda := queueing.LambdaForIntensity(rho, 16, muN, muS, 32)
 			res, err := sim.Run(net, sim.Config{
 				Lambda: lambda, MuN: muN, MuS: muS,

@@ -118,16 +118,6 @@ func Parse(s string) (Config, error) {
 	return c, c.Validate()
 }
 
-// MustParse is Parse that panics on error, for tests and tables of
-// known-good configurations.
-func MustParse(s string) Config {
-	c, err := Parse(s)
-	if err != nil {
-		panic(err)
-	}
-	return c
-}
-
 // String renders the configuration in the paper's notation.
 func (c Config) String() string {
 	return fmt.Sprintf("%d/%dx%dx%d %s/%d",
@@ -210,13 +200,4 @@ func (c Config) Build(opt BuildOptions) (core.Network, error) {
 		subs[i] = mk(i)
 	}
 	return core.NewPartitioned(subs), nil
-}
-
-// MustBuild is Build that panics on error.
-func (c Config) MustBuild(opt BuildOptions) core.Network {
-	n, err := c.Build(opt)
-	if err != nil {
-		panic(err)
-	}
-	return n
 }

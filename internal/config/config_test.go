@@ -5,6 +5,16 @@ import (
 	"testing"
 )
 
+// mustParse parses a configuration string, failing the test on error.
+func mustParse(t testing.TB, s string) Config {
+	t.Helper()
+	c, err := Parse(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
 func TestParseRoundTrip(t *testing.T) {
 	for _, s := range []string{
 		"16/16x1x1 SBUS/2",
@@ -35,15 +45,15 @@ func TestParseUnicodeTimes(t *testing.T) {
 
 func TestParsePaperExamples(t *testing.T) {
 	// The three example systems of Section II.
-	c := MustParse("16/16x1x1 SBUS/2")
+	c := mustParse(t, "16/16x1x1 SBUS/2")
 	if c.TotalResources() != 32 {
 		t.Errorf("private buses: resources = %d, want 32", c.TotalResources())
 	}
-	c = MustParse("16/1x16x32 XBAR/1")
+	c = mustParse(t, "16/1x16x32 XBAR/1")
 	if c.TotalResources() != 32 {
 		t.Errorf("crossbar: resources = %d, want 32", c.TotalResources())
 	}
-	c = MustParse("16/1x16x16 OMEGA/2")
+	c = mustParse(t, "16/1x16x16 OMEGA/2")
 	if c.TotalResources() != 32 {
 		t.Errorf("omega: resources = %d, want 32", c.TotalResources())
 	}
@@ -81,7 +91,10 @@ func TestParseCube(t *testing.T) {
 	if c.Type != CUBE || c.TotalResources() != 32 {
 		t.Errorf("parsed %+v", c)
 	}
-	net := c.MustBuild(BuildOptions{})
+	net, err := c.Build(BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if net.Name() != "CUBE(16x16,r=2)" {
 		t.Errorf("built %q", net.Name())
 	}
@@ -120,7 +133,10 @@ func TestBuildShapes(t *testing.T) {
 		{"16/2x8x8 XBAR/2", 16, 16, 32, "XBAR"},
 	}
 	for _, tc := range cases {
-		net := MustParse(tc.cfg).MustBuild(BuildOptions{})
+		net, err := mustParse(t, tc.cfg).Build(BuildOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
 		if net.Processors() != tc.procs {
 			t.Errorf("%s: processors = %d, want %d", tc.cfg, net.Processors(), tc.procs)
 		}
@@ -144,7 +160,10 @@ func TestBuildFunctional(t *testing.T) {
 		"16/8x2x2 OMEGA/2",
 		"16/1x16x16 OMEGA/2",
 	} {
-		net := MustParse(s).MustBuild(BuildOptions{})
+		net, err := mustParse(t, s).Build(BuildOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
 		g, ok := net.Acquire(0)
 		if !ok {
 			t.Errorf("%s: idle acquire failed", s)

@@ -6,16 +6,26 @@ import (
 	"rsin/internal/config"
 )
 
+// mustParse parses a configuration string, failing the test on error.
+func mustParse(t testing.TB, s string) config.Config {
+	t.Helper()
+	c, err := config.Parse(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
 func TestNetworkCostComplexities(t *testing.T) {
 	m := DefaultModel(1)
-	xbar16, err := m.NetworkCost(config.MustParse("16/1x16x16 XBAR/2"))
+	xbar16, err := m.NetworkCost(mustParse(t, "16/1x16x16 XBAR/2"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if xbar16 != 256 {
 		t.Errorf("16x16 crossbar = %g crosspoints, want 256", xbar16)
 	}
-	omega16, err := m.NetworkCost(config.MustParse("16/1x16x16 OMEGA/2"))
+	omega16, err := m.NetworkCost(mustParse(t, "16/1x16x16 OMEGA/2"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -24,14 +34,14 @@ func TestNetworkCostComplexities(t *testing.T) {
 	if omega16 >= xbar16 {
 		t.Errorf("omega (%g) should be cheaper than crossbar (%g) at N=16", omega16, xbar16)
 	}
-	cube16, err := m.NetworkCost(config.MustParse("16/1x16x16 CUBE/2"))
+	cube16, err := m.NetworkCost(mustParse(t, "16/1x16x16 CUBE/2"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if cube16 != omega16 {
 		t.Errorf("cube (%g) and omega (%g) have identical box counts", cube16, omega16)
 	}
-	bus, err := m.NetworkCost(config.MustParse("16/16x1x1 SBUS/2"))
+	bus, err := m.NetworkCost(mustParse(t, "16/16x1x1 SBUS/2"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +73,7 @@ func TestCostScaling(t *testing.T) {
 
 func TestResourceAndTotalCost(t *testing.T) {
 	m := DefaultModel(3)
-	c := config.MustParse("16/16x1x1 SBUS/2")
+	c := mustParse(t, "16/16x1x1 SBUS/2")
 	if got := m.ResourceCost(c); got != 96 {
 		t.Errorf("resource cost = %g, want 96 (32 × 3)", got)
 	}

@@ -3,6 +3,7 @@ package crossbar
 import (
 	"fmt"
 
+	"rsin/internal/invariant"
 	"rsin/internal/logic"
 )
 
@@ -74,9 +75,18 @@ func (cl *Cell) NumGates() int { return cl.c.NumGates() }
 // evaluator, so it is not safe for concurrent use (the arrays that
 // contain cells are sequential wavefronts anyway).
 func (cl *Cell) Eval(mode, x, y, latch bool, xTime, yTime int) CellOutputs {
+	return cl.EvalRaw(mode, !mode, x, y, latch, xTime, yTime)
+}
+
+// EvalRaw evaluates the cell with MODE and MODE̅ driven independently,
+// exposing the full 2⁵ raw input domain (including the inconsistent
+// mode == nmode combinations) for conformance checking against the
+// Table I reference. Normal operation goes through Eval, which ties
+// the control lines together.
+func (cl *Cell) EvalRaw(mode, nmode, x, y, latch bool, xTime, yTime int) CellOutputs {
 	e := cl.eval
 	e.SetInput(cl.mode, mode, 0)
-	e.SetInput(cl.nmode, !mode, 0)
+	e.SetInput(cl.nmode, nmode, 0)
 	e.SetInput(cl.x, x, xTime)
 	e.SetInput(cl.y, y, yTime)
 	e.SetInput(cl.lat, latch, 0)
@@ -89,6 +99,27 @@ func (cl *Cell) Eval(mode, x, y, latch bool, xTime, yTime int) CellOutputs {
 		XTime: e.Time(cl.xOut),
 		YTime: e.Time(cl.yOut),
 	}
+}
+
+// Conform checks the netlist against invariant.CellSpec — the paper's
+// Table I truth table — over all 32 raw input combinations. It returns
+// a *invariant.Violation describing the first mismatch, or nil.
+func (cl *Cell) Conform() error {
+	for bits := 0; bits < 32; bits++ {
+		mode := bits&1 != 0
+		nmode := bits&2 != 0
+		x := bits&4 != 0
+		y := bits&8 != 0
+		latch := bits&16 != 0
+		got := cl.EvalRaw(mode, nmode, x, y, latch, 0, 0)
+		s, r, xOut, yOut := invariant.CellSpec(mode, nmode, x, y, latch)
+		if got.S != s || got.R != r || got.XOut != xOut || got.YOut != yOut {
+			return invariant.Errorf("crossbar",
+				"cell netlist diverges from Table I at mode=%v nmode=%v x=%v y=%v latch=%v: got S=%v R=%v XOut=%v YOut=%v, want S=%v R=%v XOut=%v YOut=%v",
+				mode, nmode, x, y, latch, got.S, got.R, got.XOut, got.YOut, s, r, xOut, yOut)
+		}
+	}
+	return nil
 }
 
 // CellArray is the full p×m grid of gate-level cells with their control
@@ -105,6 +136,11 @@ func NewCellArray(p, m int) *CellArray {
 		panic(fmt.Sprintf("crossbar: invalid array %dx%d", p, m))
 	}
 	a := &CellArray{p: p, m: m, cell: NewCell()}
+	if invariant.Enabled() {
+		if err := a.cell.Conform(); err != nil {
+			panic(err)
+		}
+	}
 	a.latches = make([][]logic.SRLatch, p)
 	for i := range a.latches {
 		a.latches[i] = make([]logic.SRLatch, m)
@@ -199,6 +235,24 @@ func (a *CellArray) cycle(request bool, xIn, yIn []bool) CycleResult {
 	}
 	for j := 0; j < a.m; j++ {
 		res.UnusedY[j] = ycur[j].v
+	}
+	if request && invariant.Enabled() {
+		rowGranted := make([]bool, a.p)
+		colGranted := make([]bool, a.m)
+		for _, p := range pulses {
+			if !p.s {
+				continue
+			}
+			invariant.Assert(!rowGranted[p.i], "crossbar",
+				"row %d received two grants in one request cycle", p.i)
+			invariant.Assert(!colGranted[p.j], "crossbar",
+				"column %d granted to two processors in one request cycle", p.j)
+			rowGranted[p.i], colGranted[p.j] = true, true
+			invariant.Assert(xIn[p.i], "crossbar",
+				"grant at (%d,%d) without a request on row %d", p.i, p.j, p.i)
+			invariant.Assert(yIn[p.j], "crossbar",
+				"grant at (%d,%d) without a controller signal on column %d", p.i, p.j, p.j)
+		}
 	}
 	// Latches accept their pulses at the end of the cycle.
 	for _, p := range pulses {

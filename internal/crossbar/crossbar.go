@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"rsin/internal/core"
+	"rsin/internal/invariant"
 )
 
 // PortPolicy selects which eligible output port a request latches onto.
@@ -120,6 +121,9 @@ func (x *Crossbar) Acquire(pid int) (core.Grant, bool) {
 		}
 		return core.Grant{}, false
 	}
+	invariant.Assert(!x.busBusy[best] && x.free[best] > 0, "crossbar",
+		"policy %v granted ineligible port %d (busy=%v free=%d)",
+		x.policy, best, x.busBusy[best], x.free[best])
 	x.busBusy[best] = true
 	x.free[best]--
 	x.tel.Grants++

@@ -15,7 +15,7 @@ import (
 // richer networks, plus the full-size networks as reference. The paper
 // observes that when network and resource costs are comparable, many
 // small networks with more resources win.
-func FigCompare(ratio float64, rhos []float64, q Quality) Figure {
+func FigCompare(ratio float64, rhos []float64, q Quality) (Figure, error) {
 	const muN = 1.0
 	muS := ratio * muN
 	fig := Figure{
@@ -38,15 +38,22 @@ func FigCompare(ratio float64, rhos []float64, q Quality) Figure {
 	})
 	fig.Series = append(fig.Series, sbus)
 
-	cfgs := []config.Config{
-		config.MustParse("16/4x4x4 OMEGA/2"),
-		config.MustParse("16/4x4x4 XBAR/2"),
-		config.MustParse("16/1x16x16 OMEGA/2"),
-		config.MustParse("16/1x16x16 XBAR/2"),
+	cfgs, err := parseConfigs(
+		"16/4x4x4 OMEGA/2",
+		"16/4x4x4 XBAR/2",
+		"16/1x16x16 OMEGA/2",
+		"16/1x16x16 XBAR/2",
+	)
+	if err != nil {
+		return Figure{}, err
 	}
-	fig.Series = append(fig.Series, simSeriesSet(cfgs, muN, muS, rhos, q, config.BuildOptions{}, 1)...)
+	set, err := simSeriesSet(cfgs, muN, muS, rhos, q, config.BuildOptions{}, 1)
+	if err != nil {
+		return Figure{}, err
+	}
+	fig.Series = append(fig.Series, set...)
 	fig.Notes = append(fig.Notes,
 		"paper: 16/16×1×1 SBUS/3 has much better delay behavior than 16/4×4×4 OMEGA/2 or XBAR/2",
 	)
-	return fig
+	return fig, nil
 }

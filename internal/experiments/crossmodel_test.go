@@ -37,7 +37,7 @@ func TestSimulatorMatchesMarkovChain(t *testing.T) {
 		shape := shape
 		t.Run(fmt.Sprintf("p=%d,r=%d", shape.p, shape.r), func(t *testing.T) {
 			capacity := markov.Capacity(muN, muS, shape.r)
-			cfg := config.MustParse(fmt.Sprintf("%d/1x%dx1 SBUS/%d", shape.p, shape.p, shape.r))
+			cfg := mustParse(t, fmt.Sprintf("%d/1x%dx1 SBUS/%d", shape.p, shape.p, shape.r))
 			type cell struct {
 				exact, simd, half float64
 				err               error
@@ -50,7 +50,10 @@ func TestSimulatorMatchesMarkovChain(t *testing.T) {
 				if err != nil {
 					return cell{err: fmt.Errorf("markov at rho=%g: %w", rhos[i], err)}
 				}
-				net := cfg.MustBuild(config.BuildOptions{Seed: runner.DeriveSeed(seed, i, 1)})
+				net, err := cfg.Build(config.BuildOptions{Seed: runner.DeriveSeed(seed, i, 1)})
+				if err != nil {
+					return cell{err: fmt.Errorf("build at rho=%g: %w", rhos[i], err)}
+				}
 				sres, err := sim.Run(net, sim.Config{
 					Lambda: lambda, MuN: muN, MuS: muS,
 					Seed: runner.DeriveSeed(seed, i, 0), Warmup: warmup, Samples: samples,

@@ -3,8 +3,6 @@ package experiments
 import (
 	"strings"
 	"testing"
-
-	"rsin/internal/config"
 )
 
 // renderBoth renders a figure in both output formats and concatenates
@@ -33,19 +31,13 @@ func TestFiguresDeterministicAcrossWorkers(t *testing.T) {
 		name string
 		gen  func(q Quality) Figure
 	}{
-		{"fig7-xbar", func(q Quality) Figure { return Fig7(grid, q) }},
-		{"fig12-omega", func(q Quality) Figure { return Fig12(grid, q) }}, // exercises the network-internal seed stream
-		{"compare", func(q Quality) Figure { return FigCompare(0.1, grid, q) }},
-		{"ratio-sweep", func(q Quality) Figure { return FigRatioSweep(0.7, []float64{0.1, 1}, q) }},
+		{"fig7-xbar", func(q Quality) Figure { return mustFig(t)(Fig7(grid, q)) }},
+		{"fig12-omega", func(q Quality) Figure { return mustFig(t)(Fig12(grid, q)) }}, // exercises the network-internal seed stream
+		{"compare", func(q Quality) Figure { return mustFig(t)(FigCompare(0.1, grid, q)) }},
+		{"ratio-sweep", func(q Quality) Figure { return mustFig(t)(FigRatioSweep(0.7, []float64{0.1, 1}, q)) }},
 		{"blocking", func(q Quality) Figure { return FigBlocking(8, 300, q) }},
-		{"fig4-analytic", func(q Quality) Figure {
-			fig, err := Fig4(grid, q)
-			if err != nil {
-				t.Fatal(err)
-			}
-			return fig
-		}},
-		{"fig7-reps", func(q Quality) Figure { q.Reps = 3; return Fig7(grid[:2], q) }},
+		{"fig4-analytic", func(q Quality) Figure { return mustFig(t)(Fig4(grid, q)) }},
+		{"fig7-reps", func(q Quality) Figure { q.Reps = 3; return mustFig(t)(Fig7(grid[:2], q)) }},
 	}
 	for _, tc := range cases {
 		tc := tc
@@ -73,8 +65,11 @@ func TestFiguresDeterministicAcrossWorkers(t *testing.T) {
 func TestSweepMatchesFigureSeries(t *testing.T) {
 	grid := []float64{0.4, 0.8}
 	q := Quality{Samples: 3000, Warmup: 200, Seed: 9, Workers: 4}
-	fig := Fig7(grid, q)
-	solo := Sweep(config.MustParse("16/1x16x32 XBAR/1"), 0.1, grid, q)
+	fig := mustFig(t)(Fig7(grid, q))
+	solo, err := Sweep(mustParse(t, "16/1x16x32 XBAR/1"), 0.1, grid, q)
+	if err != nil {
+		t.Fatal(err)
+	}
 	want := fig.Series[0]
 	if solo.Label != want.Label {
 		t.Fatalf("labels differ: %q vs %q", solo.Label, want.Label)
@@ -93,9 +88,12 @@ func TestSweepMatchesFigureSeries(t *testing.T) {
 // probability that two specific points of a noisy quick-quality curve
 // land on the same batch-means half-width is nil.
 func TestSweepPointsDecorrelated(t *testing.T) {
-	s := Sweep(config.MustParse("16/1x16x16 OMEGA/2"), 0.1, []float64{0.5, 0.5000001}, Quality{
+	s, err := Sweep(mustParse(t, "16/1x16x16 OMEGA/2"), 0.1, []float64{0.5, 0.5000001}, Quality{
 		Samples: 2000, Warmup: 100, Seed: 5,
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Two essentially identical operating points: under the old shared
 	// seed they produced bit-identical estimates; with per-point
 	// streams they must not.

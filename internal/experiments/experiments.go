@@ -13,6 +13,7 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -227,8 +228,12 @@ func (f Figure) FindSeries(label string) *Series {
 // grid and returns its normalized-delay series. Points where the run
 // saturates are marked. It is the single-configuration form of
 // simSeriesSet and shares its seed-derivation scheme.
-func simSeries(cfg config.Config, muN, muS float64, rhos []float64, q Quality, opt config.BuildOptions, series int) Series {
-	return simSeriesSet([]config.Config{cfg}, muN, muS, rhos, q, opt, series)[0]
+func simSeries(cfg config.Config, muN, muS float64, rhos []float64, q Quality, opt config.BuildOptions, series int) (Series, error) {
+	set, err := simSeriesSet([]config.Config{cfg}, muN, muS, rhos, q, opt, series)
+	if err != nil {
+		return Series{}, err
+	}
+	return set[0], nil
 }
 
 // simSeriesSet sweeps several configurations over the same ρ grid as
@@ -243,35 +248,52 @@ func simSeries(cfg config.Config, muN, muS float64, rhos []float64, q Quality, o
 // firstSeries is the series index of cfgs[0] within the enclosing
 // figure; it keys the per-series seed derivation, so a series keeps
 // its exact stream whether swept alone or as part of a set.
-func simSeriesSet(cfgs []config.Config, muN, muS float64, rhos []float64, q Quality, opt config.BuildOptions, firstSeries int) []Series {
+func simSeriesSet(cfgs []config.Config, muN, muS float64, rhos []float64, q Quality, opt config.BuildOptions, firstSeries int) ([]Series, error) {
 	pts := workload.Sweep(PlantProcessors, muN, muS, PlantResources, rhos)
 	reps := q.reps()
 	perCfg := len(pts) * reps
-	run := runner.Map(q.opts(), len(cfgs)*perCfg, func(j int) Point {
+	type cell struct {
+		p   Point
+		err error
+	}
+	run := runner.Map(q.opts(), len(cfgs)*perCfg, func(j int) cell {
 		c, rem := j/perCfg, j%perCfg
 		i, rep := rem/reps, rem%reps
 		base := runner.DeriveSeed(q.Seed, firstSeries+c, 0)
-		return simPoint(cfgs[c], muN, muS, pts[i].Rho, pts[i].Lambda, q, opt, base, i, rep)
+		p, err := simPoint(cfgs[c], muN, muS, pts[i].Rho, pts[i].Lambda, q, opt, base, i, rep)
+		return cell{p: p, err: err}
 	})
+	for _, cl := range run {
+		if cl.err != nil {
+			return nil, cl.err
+		}
+	}
 	out := make([]Series, len(cfgs))
 	for c := range cfgs {
 		s := Series{Label: cfgs[c].String()}
 		for i := range pts {
 			off := c*perCfg + i*reps
-			s.Points = append(s.Points, poolPoint(run[off:off+reps]))
+			group := make([]Point, reps)
+			for k := range group {
+				group[k] = run[off+k].p
+			}
+			s.Points = append(s.Points, poolPoint(group))
 		}
 		out[c] = s
 	}
-	return out
+	return out, nil
 }
 
 // simPoint measures one (point, replication) cell at abscissa x with
 // per-processor arrival rate lambda. The simulation stream uses rep
 // slot 2·rep and the network's internal policy stream 2·rep+1, so the
 // two never collide.
-func simPoint(cfg config.Config, muN, muS, x, lambda float64, q Quality, opt config.BuildOptions, base uint64, point, rep int) Point {
+func simPoint(cfg config.Config, muN, muS, x, lambda float64, q Quality, opt config.BuildOptions, base uint64, point, rep int) (Point, error) {
 	opt.Seed = runner.DeriveSeed(base, point, 2*rep+1)
-	net := cfg.MustBuild(opt)
+	net, err := cfg.Build(opt)
+	if err != nil {
+		return Point{}, err
+	}
 	res, err := sim.Run(net, sim.Config{
 		Lambda:  lambda,
 		MuN:     muN,
@@ -280,14 +302,20 @@ func simPoint(cfg config.Config, muN, muS, x, lambda float64, q Quality, opt con
 		Warmup:  q.Warmup,
 		Samples: q.Samples,
 	})
+	if errors.Is(err, sim.ErrSaturated) {
+		// Saturation is an expected operating condition the figures plot
+		// as such; every other error (bad parameters, invariant
+		// violations) propagates.
+		return Point{X: x, Saturated: true}, nil
+	}
 	if err != nil {
-		return Point{X: x, Saturated: true}
+		return Point{}, err
 	}
 	return Point{
 		X:        x,
 		Y:        res.NormalizedDelay.Mean,
 		HalfWide: res.NormalizedDelay.HalfWide,
-	}
+	}, nil
 }
 
 // poolPoint pools the independent replications of one sweep point: the
@@ -319,9 +347,22 @@ func poolPoint(reps []Point) Point {
 // single-curve entry point used by the CLIs and benchmarks. The sweep
 // executes on the parallel runner with the same seed derivation as the
 // figures (series index 0).
-func Sweep(cfg config.Config, ratio float64, rhos []float64, q Quality) Series {
+func Sweep(cfg config.Config, ratio float64, rhos []float64, q Quality) (Series, error) {
 	const muN = 1.0
 	return simSeries(cfg, muN, ratio*muN, rhos, q, config.BuildOptions{}, 0)
+}
+
+// parseConfigs parses a curve set of configuration strings.
+func parseConfigs(specs ...string) ([]config.Config, error) {
+	cfgs := make([]config.Config, len(specs))
+	for i, s := range specs {
+		c, err := config.Parse(s)
+		if err != nil {
+			return nil, err
+		}
+		cfgs[i] = c
+	}
+	return cfgs, nil
 }
 
 // rhoFor returns the paper's reference-system traffic intensity for a

@@ -118,7 +118,7 @@ func TestFig5Shapes(t *testing.T) {
 }
 
 func TestFig7Shapes(t *testing.T) {
-	fig := Fig7(testGrid(), Quick())
+	fig := mustFig(t)(Fig7(testGrid(), Quick()))
 	if len(fig.Series) != 4 {
 		t.Fatalf("series = %d, want 4", len(fig.Series))
 	}
@@ -152,7 +152,7 @@ func TestFig7Shapes(t *testing.T) {
 func TestFig8PrivatePortsWin(t *testing.T) {
 	// Paper: when μs/μn is large the network binds, so a private output
 	// port per resource (XBAR/1) beats shared ports (XBAR/2).
-	fig := Fig8([]float64{0.5, 0.8}, Quick())
+	fig := mustFig(t)(Fig8([]float64{0.5, 0.8}, Quick()))
 	priv := fig.FindSeries("16/1x16x32 XBAR/1")
 	shared := fig.FindSeries("16/1x16x16 XBAR/2")
 	if priv == nil || shared == nil {
@@ -167,7 +167,7 @@ func TestFig8PrivatePortsWin(t *testing.T) {
 }
 
 func TestFig12Shapes(t *testing.T) {
-	fig := Fig12(testGrid(), Quick())
+	fig := mustFig(t)(Fig12(testGrid(), Quick()))
 	if len(fig.Series) != 3 {
 		t.Fatalf("series = %d, want 3", len(fig.Series))
 	}
@@ -194,8 +194,8 @@ func TestFig12Shapes(t *testing.T) {
 // delay.
 func TestOmegaTracksCrossbarWhenRatioSmall(t *testing.T) {
 	q := Quick()
-	omega := Fig12([]float64{0.5, 0.8}, q).FindSeries("16/1x16x16 OMEGA/2")
-	xbar := Fig7([]float64{0.5, 0.8}, q).FindSeries("16/1x16x16 XBAR/2")
+	omega := mustFig(t)(Fig12([]float64{0.5, 0.8}, q)).FindSeries("16/1x16x16 OMEGA/2")
+	xbar := mustFig(t)(Fig7([]float64{0.5, 0.8}, q)).FindSeries("16/1x16x16 XBAR/2")
 	for _, x := range []float64{0.5, 0.8} {
 		o, c := omega.At(x), xbar.At(x)
 		if math.IsNaN(o) || math.IsNaN(c) {
@@ -248,7 +248,7 @@ func TestCompareSBUS3Wins(t *testing.T) {
 	// than partitioned 4×4×4 networks with 32 — decisively so under
 	// heavy load with μs/μn = 0.1, where the extra capacity dominates
 	// the pooling advantage of the shared networks.
-	fig := FigCompare(0.1, []float64{0.9, 0.95}, Quick())
+	fig := mustFig(t)(FigCompare(0.1, []float64{0.9, 0.95}, Quick()))
 	sbus := fig.Series[0]
 	omega := fig.FindSeries("16/4x4x4 OMEGA/2")
 	xbar := fig.FindSeries("16/4x4x4 XBAR/2")
@@ -267,7 +267,7 @@ func TestLightLoadApproximationClose(t *testing.T) {
 	// Paper: the light-load approximation is close to simulation for
 	// μs·d ≤ 1. Compare at ρ = 0.2 on the full crossbar.
 	q := Quick()
-	fig := Fig7([]float64{0.2}, q)
+	fig := mustFig(t)(Fig7([]float64{0.2}, q))
 	simY := fig.FindSeries("16/1x16x16 XBAR/2").At(0.2)
 	lam := lambdaAt(0.2, 1, 0.1)
 	approx, sat, err := LightLoadApproximation(lam, 1, 0.1, 16, 2)
@@ -293,7 +293,7 @@ func TestCrossbarApproximationAccuracy(t *testing.T) {
 			{0.2, 0.15}, {0.4, 0.15}, {0.8, 0.55},
 		} {
 			lam := lambdaAt(tc.rho, muN, muS)
-			net := config.MustParse("16/1x16x16 XBAR/2").MustBuild(config.BuildOptions{})
+			net := mustBuild(t, mustParse(t, "16/1x16x16 XBAR/2"), config.BuildOptions{})
 			res, err := sim.Run(net, sim.Config{
 				Lambda: lam, MuN: muN, MuS: muS,
 				Seed: 1, Warmup: 1000, Samples: 60000,
@@ -389,7 +389,7 @@ func TestRenderFigure(t *testing.T) {
 // and vanishes when it is large (each processor's own serial
 // transmission binds; no network can help) — the axis Table II keys on.
 func TestRatioSweepShape(t *testing.T) {
-	fig := FigRatioSweep(0.7, []float64{0.1, 10}, Quick())
+	fig := mustFig(t)(FigRatioSweep(0.7, []float64{0.1, 10}, Quick()))
 	xbar := fig.FindSeries("16/1x16x32 XBAR/1")
 	sbus := fig.FindSeries("16/16x1x1 SBUS/2")
 	if xbar == nil || sbus == nil {

@@ -10,12 +10,12 @@ import (
 // full 16×16 Omega network versus partitions into smaller networks
 // (the paper highlights that eight 2×2 networks track one 16×16
 // network closely except under heavy load).
-func omegaConfigs() []config.Config {
-	return []config.Config{
-		config.MustParse("16/1x16x16 OMEGA/2"),
-		config.MustParse("16/4x4x4 OMEGA/2"),
-		config.MustParse("16/8x2x2 OMEGA/2"),
-	}
+func omegaConfigs() ([]config.Config, error) {
+	return parseConfigs(
+		"16/1x16x16 OMEGA/2",
+		"16/4x4x4 OMEGA/2",
+		"16/8x2x2 OMEGA/2",
+	)
 }
 
 // FigOmega regenerates Fig. 12 (ratio = 0.1) or Fig. 13 (ratio = 1.0):
@@ -23,7 +23,7 @@ func omegaConfigs() []config.Config {
 // traffic intensity, by discrete-event simulation of the distributed
 // scheduling algorithm (availability-guided routing with
 // reject/reroute).
-func FigOmega(id string, ratio float64, rhos []float64, q Quality) Figure {
+func FigOmega(id string, ratio float64, rhos []float64, q Quality) (Figure, error) {
 	const muN = 1.0
 	muS := ratio * muN
 	fig := Figure{
@@ -32,15 +32,22 @@ func FigOmega(id string, ratio float64, rhos []float64, q Quality) Figure {
 		XLabel: "rho",
 		YLabel: "d·μs",
 	}
-	fig.Series = simSeriesSet(omegaConfigs(), muN, muS, rhos, q, config.BuildOptions{}, 0)
+	cfgs, err := omegaConfigs()
+	if err != nil {
+		return Figure{}, err
+	}
+	fig.Series, err = simSeriesSet(cfgs, muN, muS, rhos, q, config.BuildOptions{}, 0)
+	if err != nil {
+		return Figure{}, err
+	}
 	fig.Notes = append(fig.Notes,
 		"distributed scheduling: status bits propagate backward, requests route forward with reject/reroute",
 	)
-	return fig
+	return fig, nil
 }
 
 // Fig12 regenerates the paper's Fig. 12 (μs/μn = 0.1).
-func Fig12(rhos []float64, q Quality) Figure { return FigOmega("fig12", 0.1, rhos, q) }
+func Fig12(rhos []float64, q Quality) (Figure, error) { return FigOmega("fig12", 0.1, rhos, q) }
 
 // Fig13 regenerates the paper's Fig. 13 (μs/μn = 1.0).
-func Fig13(rhos []float64, q Quality) Figure { return FigOmega("fig13", 1.0, rhos, q) }
+func Fig13(rhos []float64, q Quality) (Figure, error) { return FigOmega("fig13", 1.0, rhos, q) }

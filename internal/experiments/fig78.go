@@ -11,19 +11,19 @@ import (
 // crossbar with private output ports, one with shared ports, and the
 // partitioned variants whose cost/performance tradeoff Section IV
 // discusses.
-func xbarConfigs() []config.Config {
-	return []config.Config{
-		config.MustParse("16/1x16x32 XBAR/1"),
-		config.MustParse("16/1x16x16 XBAR/2"),
-		config.MustParse("16/2x8x8 XBAR/2"),
-		config.MustParse("16/4x4x4 XBAR/2"),
-	}
+func xbarConfigs() ([]config.Config, error) {
+	return parseConfigs(
+		"16/1x16x32 XBAR/1",
+		"16/1x16x16 XBAR/2",
+		"16/2x8x8 XBAR/2",
+		"16/4x4x4 XBAR/2",
+	)
 }
 
 // FigXBAR regenerates Fig. 7 (ratio = 0.1) or Fig. 8 (ratio = 1.0):
 // normalized queueing delay of the multiple-shared-bus configurations
 // versus traffic intensity, by discrete-event simulation.
-func FigXBAR(id string, ratio float64, rhos []float64, q Quality) Figure {
+func FigXBAR(id string, ratio float64, rhos []float64, q Quality) (Figure, error) {
 	const muN = 1.0
 	muS := ratio * muN
 	fig := Figure{
@@ -32,18 +32,25 @@ func FigXBAR(id string, ratio float64, rhos []float64, q Quality) Figure {
 		XLabel: "rho",
 		YLabel: "d·μs",
 	}
-	fig.Series = simSeriesSet(xbarConfigs(), muN, muS, rhos, q, config.BuildOptions{}, 0)
+	cfgs, err := xbarConfigs()
+	if err != nil {
+		return Figure{}, err
+	}
+	fig.Series, err = simSeriesSet(cfgs, muN, muS, rhos, q, config.BuildOptions{}, 0)
+	if err != nil {
+		return Figure{}, err
+	}
 	fig.Notes = append(fig.Notes,
 		"XBAR/1 gives every resource a private output port; XBAR/2 shares each port between two resources",
 	)
-	return fig
+	return fig, nil
 }
 
 // Fig7 regenerates the paper's Fig. 7 (μs/μn = 0.1).
-func Fig7(rhos []float64, q Quality) Figure { return FigXBAR("fig7", 0.1, rhos, q) }
+func Fig7(rhos []float64, q Quality) (Figure, error) { return FigXBAR("fig7", 0.1, rhos, q) }
 
 // Fig8 regenerates the paper's Fig. 8 (μs/μn = 1.0).
-func Fig8(rhos []float64, q Quality) Figure { return FigXBAR("fig8", 1.0, rhos, q) }
+func Fig8(rhos []float64, q Quality) (Figure, error) { return FigXBAR("fig8", 1.0, rhos, q) }
 
 // LightLoadApproximation returns the Section IV light-load
 // approximation of a crossbar's normalized delay: with other processors

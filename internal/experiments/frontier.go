@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -82,7 +83,10 @@ func Frontier(m cost.Model, budget, ratio, rho float64, q Quality) ([]FrontierEn
 		}
 		rs = append(rs, maxAffordable)
 		for _, r := range rs {
-			c := config.MustParse(fmt.Sprintf(sh.format, r))
+			c, err := config.Parse(fmt.Sprintf(sh.format, r))
+			if err != nil {
+				return nil, err
+			}
 			tc, err := m.TotalCost(c)
 			if err != nil {
 				return nil, err
@@ -105,12 +109,16 @@ func Frontier(m cost.Model, budget, ratio, rho float64, q Quality) ([]FrontierEn
 	type measured struct {
 		delay     float64
 		saturated bool
+		err       error
 	}
 	delays := runner.Map(q.opts(), len(entries), func(i int) measured {
-		d, sat := frontierDelay(entries[i].Config, muN, muS, rho, q, runner.DeriveSeed(q.Seed, i, 0))
-		return measured{delay: d, saturated: sat}
+		d, sat, err := frontierDelay(entries[i].Config, muN, muS, rho, q, runner.DeriveSeed(q.Seed, i, 0))
+		return measured{delay: d, saturated: sat, err: err}
 	})
 	for i := range entries {
+		if delays[i].err != nil {
+			return nil, delays[i].err
+		}
 		entries[i].Delay, entries[i].Saturated = delays[i].delay, delays[i].saturated
 	}
 	sort.Slice(entries, func(i, j int) bool {
@@ -127,26 +135,35 @@ func Frontier(m cost.Model, budget, ratio, rho float64, q Quality) ([]FrontierEn
 // candidate's derived seed base). The arrival rate keeps the paper's
 // reference-system ρ definition (16 processors, 32 reference
 // resources) so all candidates face the same offered load.
-func frontierDelay(c config.Config, muN, muS, rho float64, q Quality, seed uint64) (float64, bool) {
+func frontierDelay(c config.Config, muN, muS, rho float64, q Quality, seed uint64) (float64, bool, error) {
 	lambda := queueing.LambdaForIntensity(rho, PlantProcessors, muN, muS, PlantResources)
 	if c.Type == config.SBUS {
 		res, err := markov.SolveMatrixGeometric(markov.Params{
 			P: c.Inputs, Lambda: lambda, MuN: muN, MuS: muS, R: c.PerPort,
 		})
-		if err != nil {
-			return 0, true
+		if errors.Is(err, markov.ErrUnstable) {
+			return 0, true, nil
 		}
-		return res.NormalizedDelay, false
+		if err != nil {
+			return 0, false, err
+		}
+		return res.NormalizedDelay, false, nil
 	}
-	net := c.MustBuild(config.BuildOptions{Seed: runner.DeriveSeed(seed, 0, 1)})
+	net, err := c.Build(config.BuildOptions{Seed: runner.DeriveSeed(seed, 0, 1)})
+	if err != nil {
+		return 0, false, err
+	}
 	res, err := sim.Run(net, sim.Config{
 		Lambda: lambda, MuN: muN, MuS: muS,
 		Seed: runner.DeriveSeed(seed, 0, 0), Warmup: q.Warmup, Samples: q.Samples,
 	})
-	if err != nil {
-		return 0, true
+	if errors.Is(err, sim.ErrSaturated) {
+		return 0, true, nil
 	}
-	return res.NormalizedDelay.Mean, false
+	if err != nil {
+		return 0, false, err
+	}
+	return res.NormalizedDelay.Mean, false, nil
 }
 
 // RenderFrontier writes one frontier (already computed) as a text table

@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"testing"
+
+	"rsin/internal/config"
+	"rsin/internal/core"
+)
+
+// mustFig returns an unwrapper for (Figure, error) pairs that fails
+// the test on error — test shorthand for the figure generators, which
+// return errors since config parsing and simulation no longer panic.
+// Usage: mustFig(t)(Fig7(grid, q)).
+func mustFig(t testing.TB) func(Figure, error) Figure {
+	return func(fig Figure, err error) Figure {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fig
+	}
+}
+
+// mustParse parses a configuration string, failing the test on error.
+func mustParse(t testing.TB, s string) config.Config {
+	t.Helper()
+	c, err := config.Parse(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// mustBuild materializes a configuration, failing the test on error.
+func mustBuild(t testing.TB, c config.Config, opt config.BuildOptions) core.Network {
+	t.Helper()
+	net, err := c.Build(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}

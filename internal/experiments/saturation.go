@@ -21,7 +21,7 @@ import (
 // ρ* can be overstated by a few percent. For SBUS systems the exact
 // value from the Markov drift bound (markov.Capacity) is used instead;
 // the tests validate the search against it.
-func SaturationSearch(cfg config.Config, ratio float64, q Quality) float64 {
+func SaturationSearch(cfg config.Config, ratio float64, q Quality) (float64, error) {
 	muN := 1.0
 	muS := ratio * muN
 	lo, hi := 0.0, 2.0
@@ -31,46 +31,72 @@ func SaturationSearch(cfg config.Config, ratio float64, q Quality) float64 {
 	// probes are statistically independent.
 	for iter := 0; iter < 10; iter++ {
 		mid := (lo + hi) / 2
-		if saturatedAt(cfg, muN, muS, mid, q, iter) {
+		sat, err := saturatedAt(cfg, muN, muS, mid, q, iter)
+		if err != nil {
+			return 0, err
+		}
+		if sat {
 			hi = mid
 		} else {
 			lo = mid
 		}
 	}
-	return (lo + hi) / 2
+	return (lo + hi) / 2, nil
 }
 
 // SaturationProfile estimates ρ* for every configuration in parallel
 // on the runner, each search drawing from its own derived seed base.
 // Results are indexed like cfgs and identical for any q.Workers.
-func SaturationProfile(cfgs []config.Config, ratio float64, q Quality) []float64 {
-	return runner.Map(q.opts(), len(cfgs), func(i int) float64 {
+func SaturationProfile(cfgs []config.Config, ratio float64, q Quality) ([]float64, error) {
+	type cell struct {
+		rho float64
+		err error
+	}
+	run := runner.Map(q.opts(), len(cfgs), func(i int) cell {
 		qi := q
 		qi.Seed = runner.DeriveSeed(q.Seed, i, 0)
 		qi.Progress = nil // the outer Map reports per-configuration
-		return SaturationSearch(cfgs[i], ratio, qi)
+		rho, err := SaturationSearch(cfgs[i], ratio, qi)
+		return cell{rho: rho, err: err}
 	})
+	out := make([]float64, len(cfgs))
+	for i, cl := range run {
+		if cl.err != nil {
+			return nil, cl.err
+		}
+		out[i] = cl.rho
+	}
+	return out, nil
 }
 
 // saturatedAt probes one operating point. probe indexes the bisection
 // step and keys the derived seeds of the probe's random streams.
-func saturatedAt(cfg config.Config, muN, muS, rho float64, q Quality, probe int) bool {
+func saturatedAt(cfg config.Config, muN, muS, rho float64, q Quality, probe int) (bool, error) {
 	lambda := queueing.LambdaForIntensity(rho, PlantProcessors, muN, muS, PlantResources)
 	if cfg.Type == config.SBUS {
 		// Exact: compare the per-bus arrival rate against the drift
 		// capacity.
 		perBus := float64(cfg.Inputs) * lambda
-		return perBus >= markov.Capacity(muN, muS, cfg.PerPort)
+		return perBus >= markov.Capacity(muN, muS, cfg.PerPort), nil
 	}
-	net := cfg.MustBuild(config.BuildOptions{Seed: runner.DeriveSeed(q.Seed, probe, 1)})
+	net, err := cfg.Build(config.BuildOptions{Seed: runner.DeriveSeed(q.Seed, probe, 1)})
+	if err != nil {
+		return false, err
+	}
 	samples := q.Samples
 	if samples < 40000 {
 		samples = 40000 // give slow divergence time to express itself
 	}
-	_, err := sim.Run(net, sim.Config{
+	_, err = sim.Run(net, sim.Config{
 		Lambda: lambda, MuN: muN, MuS: muS,
 		Seed: runner.DeriveSeed(q.Seed, probe, 0), Warmup: q.Warmup, Samples: samples,
 		MaxQueue: 300,
 	})
-	return errors.Is(err, sim.ErrSaturated)
+	if errors.Is(err, sim.ErrSaturated) {
+		return true, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	return false, nil
 }

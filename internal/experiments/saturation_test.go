@@ -12,9 +12,12 @@ import (
 // TestSaturationMatchesMarkovCapacity validates the search against the
 // exact drift capacity of the bus chain.
 func TestSaturationMatchesMarkovCapacity(t *testing.T) {
-	cfg := config.MustParse("16/16x1x1 SBUS/2")
+	cfg := mustParse(t, "16/16x1x1 SBUS/2")
 	ratio := 0.1
-	got := SaturationSearch(cfg, ratio, Quick())
+	got, err := SaturationSearch(cfg, ratio, Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Exact: per-bus λ* = Capacity(1, 0.1, 2); convert to reference ρ.
 	lamStar := markov.Capacity(1, ratio, 2)
 	want := queueing.TrafficIntensity(PlantProcessors, lamStar, 1, ratio, PlantResources)
@@ -30,12 +33,15 @@ func TestSaturationMatchesMarkovCapacity(t *testing.T) {
 func TestSaturationOrdering(t *testing.T) {
 	q := Quality{Samples: 15000, Warmup: 500, Seed: 1}
 	ratio := 0.1
-	rhoStars := SaturationProfile([]config.Config{
-		config.MustParse("16/1x16x32 XBAR/1"),
-		config.MustParse("16/4x4x4 XBAR/2"),
-		config.MustParse("16/1x16x16 OMEGA/2"),
-		config.MustParse("16/8x2x2 OMEGA/2"),
+	rhoStars, err := SaturationProfile([]config.Config{
+		mustParse(t, "16/1x16x32 XBAR/1"),
+		mustParse(t, "16/4x4x4 XBAR/2"),
+		mustParse(t, "16/1x16x16 OMEGA/2"),
+		mustParse(t, "16/8x2x2 OMEGA/2"),
 	}, ratio, q)
+	if err != nil {
+		t.Fatal(err)
+	}
 	full, part, omega, tiny := rhoStars[0], rhoStars[1], rhoStars[2], rhoStars[3]
 	if !(full >= part-0.05) {
 		t.Errorf("full crossbar ρ* %.3f should be ≥ partitioned %.3f", full, part)
@@ -46,7 +52,11 @@ func TestSaturationOrdering(t *testing.T) {
 	// All pooled-resource systems at μs/μn=0.1 saturate well above the
 	// single-shared-bus reference point. (A lone search must agree with
 	// a profile of one: both derive the same per-config seed base.)
-	sbus1 := SaturationProfile([]config.Config{config.MustParse("16/1x16x1 SBUS/32")}, ratio, q)[0]
+	sbus1Prof, err := SaturationProfile([]config.Config{mustParse(t, "16/1x16x1 SBUS/32")}, ratio, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sbus1 := sbus1Prof[0]
 	if !(full > sbus1 && omega > sbus1) {
 		t.Errorf("networks (%.3f, %.3f) should out-carry the single bus (%.3f)", full, omega, sbus1)
 	}

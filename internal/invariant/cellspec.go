@@ -1,0 +1,22 @@
+package invariant
+
+// CellSpec is the paper's Table I crossbar cell truth table in
+// algebraic form — the reference the gate-level crossbar.Cell netlist
+// is checked against over all 2⁵ raw input combinations:
+//
+//	S     = MODE·X·Y
+//	R     = MODE̅·X
+//	X_out = X·NAND(MODE, Y)
+//	Y_out = Y·(MODE̅ + X̅·L̅)
+//
+// MODE and its complement are distributed as separate control lines, so
+// the spec takes both: the inconsistent combinations (mode == nmode)
+// are part of the 32-case conformance domain and the netlist must agree
+// on them too.
+func CellSpec(mode, nmode, x, y, latch bool) (s, r, xOut, yOut bool) {
+	s = mode && x && y
+	r = nmode && x
+	xOut = x && !(mode && y)
+	yOut = y && (nmode || (!x && !latch))
+	return s, r, xOut, yOut
+}

@@ -1,0 +1,40 @@
+package invariant_test
+
+import (
+	"testing"
+
+	"rsin/internal/crossbar"
+	"rsin/internal/invariant"
+)
+
+func init() { invariant.Enable(true) }
+
+// TestCellConformsToTableI is the exhaustive 2⁵-input conformance
+// check of the gate-level crossbar cell against the paper's Table I
+// truth table (invariant.CellSpec), covering every combination of
+// MODE, MODE̅, X, Y and the latch state — including the inconsistent
+// control-line pairs that never occur in array operation.
+func TestCellConformsToTableI(t *testing.T) {
+	cell := crossbar.NewCell()
+	combos := 0
+	for bits := 0; bits < 32; bits++ {
+		mode := bits&1 != 0
+		nmode := bits&2 != 0
+		x := bits&4 != 0
+		y := bits&8 != 0
+		latch := bits&16 != 0
+		got := cell.EvalRaw(mode, nmode, x, y, latch, 0, 0)
+		s, r, xOut, yOut := invariant.CellSpec(mode, nmode, x, y, latch)
+		if got.S != s || got.R != r || got.XOut != xOut || got.YOut != yOut {
+			t.Errorf("mode=%v nmode=%v x=%v y=%v latch=%v: netlist S=%v R=%v XOut=%v YOut=%v, Table I wants S=%v R=%v XOut=%v YOut=%v",
+				mode, nmode, x, y, latch, got.S, got.R, got.XOut, got.YOut, s, r, xOut, yOut)
+		}
+		combos++
+	}
+	if combos != 32 {
+		t.Fatalf("covered %d combinations, want 32", combos)
+	}
+	if err := cell.Conform(); err != nil {
+		t.Errorf("Conform() = %v on the stock netlist", err)
+	}
+}

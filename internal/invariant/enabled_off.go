@@ -1,0 +1,7 @@
+//go:build !invariant
+
+package invariant
+
+// defaultEnabled is false in ordinary builds; runtime checks are
+// opt-in via the -check flag or invariant.Enable.
+const defaultEnabled = false

@@ -1,0 +1,7 @@
+//go:build invariant
+
+package invariant
+
+// defaultEnabled is true under -tags invariant: every binary and test
+// built with the tag runs the model checks unconditionally.
+const defaultEnabled = true

@@ -1,0 +1,150 @@
+// Package invariant implements the runtime model-invariant checks
+// behind the -check CLI flag: structural validation of CTMC generators
+// and stationary distributions for the Markov solvers, conservation
+// and monotonicity checks for the discrete-event simulator, and the
+// paper's Table I crossbar cell truth table as an executable
+// reference.
+//
+// The checks are off by default in the binaries (enable with -check or
+// build with -tags invariant) and always on under go test — each model
+// package flips the switch from an init function in its test files.
+// Violations are reported as *Violation errors; hot-path call sites
+// use Assert, which panics with a *Violation that sim.Run converts
+// back into an error via ClassifyPanic.
+package invariant
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"rsin/internal/linalg"
+	"rsin/internal/stats"
+)
+
+var enabled atomic.Bool
+
+func init() { enabled.Store(defaultEnabled) }
+
+// Enable turns the runtime checks on or off process-wide.
+func Enable(on bool) { enabled.Store(on) }
+
+// Enabled reports whether the runtime checks are on. Call sites on hot
+// paths gate their checks with it; the pure check functions below run
+// whenever called.
+func Enabled() bool { return enabled.Load() }
+
+// Violation is a broken model invariant. It is a programming or
+// numerical error in the models, never an expected operating condition
+// (saturation, instability), so callers surface it rather than
+// classifying it away.
+type Violation struct {
+	Domain string // which model or subsystem, e.g. "sim", "markov"
+	Msg    string
+}
+
+func (v *Violation) Error() string { return "invariant: " + v.Domain + ": " + v.Msg }
+
+// Errorf builds a *Violation.
+func Errorf(domain, format string, args ...any) *Violation {
+	return &Violation{Domain: domain, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Is reports whether err wraps a *Violation.
+func Is(err error) bool {
+	var v *Violation
+	return errors.As(err, &v)
+}
+
+// Assert panics with a *Violation when the checks are enabled and cond
+// is false. It is the hot-path form: the condition is typically cheap,
+// and the panic unwinds to a recover that calls ClassifyPanic.
+func Assert(cond bool, domain, format string, args ...any) {
+	if cond || !Enabled() {
+		return
+	}
+	panic(Errorf(domain, format, args...))
+}
+
+// ClassifyPanic maps a recovered panic value to the invariant error it
+// represents: a *Violation panic (from Assert) or a time-went-backwards
+// panic from stats.TimeWeighted. It returns nil for foreign panics,
+// which the caller must re-raise.
+func ClassifyPanic(r any) error {
+	err, ok := r.(error)
+	if !ok {
+		return nil
+	}
+	var v *Violation
+	if errors.As(err, &v) {
+		return v
+	}
+	if errors.Is(err, stats.ErrTimeBackwards) {
+		return Errorf("stats", "%v", err)
+	}
+	return nil
+}
+
+// NonDecreasing checks that next does not precede prev — the
+// event-time monotonicity invariant of the simulator clock.
+func NonDecreasing(domain string, prev, next float64) error {
+	if next >= prev {
+		return nil
+	}
+	return Errorf(domain, "time went backwards: %v < %v", next, prev)
+}
+
+// Conserved checks the flow-conservation balance in = out + inFlight.
+func Conserved(domain string, in, out, inFlight int64) error {
+	if in == out+inFlight {
+		return nil
+	}
+	return Errorf(domain, "conservation violated: %d in != %d out + %d in flight", in, out, inFlight)
+}
+
+// Distribution checks that pi is a probability distribution: every
+// entry ≥ -tol and the total within tol of 1.
+func Distribution(domain string, pi []float64, tol float64) error {
+	sum := 0.0
+	for i, p := range pi {
+		if math.IsNaN(p) || p < -tol {
+			return Errorf(domain, "distribution entry %d = %g is negative beyond tolerance %g", i, p, tol)
+		}
+		sum += p
+	}
+	if math.IsNaN(sum) || math.Abs(sum-1) > tol {
+		return Errorf(domain, "distribution mass %.17g differs from 1 by more than %g", sum, tol)
+	}
+	return nil
+}
+
+// Generator checks that q is a valid CTMC generator matrix:
+// off-diagonal entries ≥ -tol, diagonal entries ≤ tol, and every row
+// sum within tol of zero.
+func Generator(domain string, q *linalg.Matrix, tol float64) error {
+	n := q.Rows
+	if q.Cols != n {
+		return Errorf(domain, "generator is %dx%d, not square", q.Rows, q.Cols)
+	}
+	for i := 0; i < n; i++ {
+		sum := 0.0
+		for j := 0; j < n; j++ {
+			v := q.At(i, j)
+			if math.IsNaN(v) {
+				return Errorf(domain, "generator entry (%d,%d) is NaN", i, j)
+			}
+			if i == j && v > tol {
+				return Errorf(domain, "generator diagonal (%d,%d) = %g is positive", i, j, v)
+			}
+			if i != j && v < -tol {
+				return Errorf(domain, "generator off-diagonal (%d,%d) = %g is negative", i, j, v)
+			}
+			sum += v
+		}
+		if math.Abs(sum) > tol {
+			return Errorf(domain, "generator row %d sums to %g, not 0 (tolerance %g)", i, sum, tol)
+		}
+	}
+	return nil
+}

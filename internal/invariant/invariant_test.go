@@ -1,0 +1,195 @@
+package invariant
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"rsin/internal/linalg"
+	"rsin/internal/stats"
+)
+
+func init() { Enable(true) }
+
+func TestEnableToggle(t *testing.T) {
+	defer Enable(true)
+	Enable(false)
+	if Enabled() {
+		t.Error("Enabled() true after Enable(false)")
+	}
+	// Assert must be a no-op while disabled, even on a false condition.
+	Assert(false, "test", "should not fire")
+	Enable(true)
+	if !Enabled() {
+		t.Error("Enabled() false after Enable(true)")
+	}
+}
+
+func TestAssertPanicsWithViolation(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Assert(false) did not panic with checks enabled")
+		}
+		v, ok := r.(*Violation)
+		if !ok {
+			t.Fatalf("Assert panicked with %T, want *Violation", r)
+		}
+		if v.Domain != "unit" || !strings.Contains(v.Msg, "x=7") {
+			t.Errorf("unexpected violation: %v", v)
+		}
+	}()
+	Assert(true, "unit", "true condition must not fire")
+	Assert(false, "unit", "x=%d", 7)
+}
+
+func TestViolationErrorAndIs(t *testing.T) {
+	v := Errorf("markov", "bad %s", "row")
+	if got := v.Error(); got != "invariant: markov: bad row" {
+		t.Errorf("Error() = %q", got)
+	}
+	wrapped := fmt.Errorf("solving: %w", v)
+	if !Is(wrapped) {
+		t.Error("Is() false for wrapped *Violation")
+	}
+	if Is(errors.New("plain")) {
+		t.Error("Is() true for a plain error")
+	}
+	if Is(nil) {
+		t.Error("Is() true for nil")
+	}
+}
+
+func TestClassifyPanic(t *testing.T) {
+	if got := ClassifyPanic(nil); got != nil {
+		t.Errorf("ClassifyPanic(nil) = %v", got)
+	}
+	if got := ClassifyPanic("some string panic"); got != nil {
+		t.Errorf("foreign non-error panic classified: %v", got)
+	}
+	if got := ClassifyPanic(errors.New("foreign error")); got != nil {
+		t.Errorf("foreign error panic classified: %v", got)
+	}
+	v := Errorf("sim", "leak")
+	if got := ClassifyPanic(v); got != v {
+		t.Errorf("ClassifyPanic(*Violation) = %v, want the violation itself", got)
+	}
+	if got := ClassifyPanic(fmt.Errorf("wrap: %w", v)); !Is(got) {
+		t.Errorf("wrapped violation not classified: %v", got)
+	}
+	tb := fmt.Errorf("%w: 3 < 5", stats.ErrTimeBackwards)
+	got := ClassifyPanic(tb)
+	if got == nil || !Is(got) {
+		t.Errorf("ErrTimeBackwards panic not classified as violation: %v", got)
+	}
+}
+
+func TestNonDecreasing(t *testing.T) {
+	if err := NonDecreasing("sim", 1.0, 1.0); err != nil {
+		t.Errorf("equal times flagged: %v", err)
+	}
+	if err := NonDecreasing("sim", 1.0, 2.0); err != nil {
+		t.Errorf("increasing times flagged: %v", err)
+	}
+	if err := NonDecreasing("sim", 2.0, 1.0); err == nil {
+		t.Error("backwards time not flagged")
+	} else if !Is(err) {
+		t.Errorf("error is not a Violation: %v", err)
+	}
+}
+
+func TestConserved(t *testing.T) {
+	if err := Conserved("sim", 100, 90, 10); err != nil {
+		t.Errorf("balanced flow flagged: %v", err)
+	}
+	if err := Conserved("sim", 100, 90, 9); err == nil {
+		t.Error("lost task not flagged")
+	} else if !Is(err) {
+		t.Errorf("error is not a Violation: %v", err)
+	}
+}
+
+func TestDistribution(t *testing.T) {
+	if err := Distribution("markov", []float64{0.25, 0.5, 0.25}, 1e-12); err != nil {
+		t.Errorf("valid distribution flagged: %v", err)
+	}
+	// Tiny negative entries within tolerance are numerical noise.
+	if err := Distribution("markov", []float64{-1e-15, 0.5, 0.5}, 1e-12); err != nil {
+		t.Errorf("in-tolerance negative entry flagged: %v", err)
+	}
+	if err := Distribution("markov", []float64{-0.1, 0.6, 0.5}, 1e-12); err == nil {
+		t.Error("negative entry not flagged")
+	}
+	if err := Distribution("markov", []float64{0.25, 0.5}, 1e-12); err == nil {
+		t.Error("mass 0.75 not flagged")
+	}
+	if err := Distribution("markov", []float64{0.5, nan()}, 1e-12); err == nil {
+		t.Error("NaN entry not flagged")
+	}
+}
+
+func TestGenerator(t *testing.T) {
+	q := linalg.NewMatrix(2, 2)
+	q.Set(0, 0, -1)
+	q.Set(0, 1, 1)
+	q.Set(1, 0, 2)
+	q.Set(1, 1, -2)
+	if err := Generator("markov", q, 1e-12); err != nil {
+		t.Errorf("valid generator flagged: %v", err)
+	}
+	bad := q.Clone()
+	bad.Set(0, 1, -1) // negative off-diagonal, row sum -2
+	if err := Generator("markov", bad, 1e-12); err == nil {
+		t.Error("negative off-diagonal not flagged")
+	}
+	bad = q.Clone()
+	bad.Set(1, 1, -1.5) // row sum 0.5
+	if err := Generator("markov", bad, 1e-12); err == nil {
+		t.Error("nonzero row sum not flagged")
+	}
+	bad = q.Clone()
+	bad.Set(0, 0, 1)
+	bad.Set(0, 1, -1) // positive diagonal
+	if err := Generator("markov", bad, 1e-12); err == nil {
+		t.Error("positive diagonal not flagged")
+	}
+	rect := linalg.NewMatrix(2, 3)
+	if err := Generator("markov", rect, 1e-12); err == nil {
+		t.Error("non-square matrix not flagged")
+	}
+}
+
+// TestCellSpecTableI pins the algebraic truth table to the paper's
+// Table I semantics on the consistent (nmode = !mode) half of the
+// domain: in request mode a cell fires S exactly when X and Y meet,
+// absorbs X on allocation, and blocks Y below an allocated or latched
+// cell; in reset mode X resets the row and Y passes through.
+func TestCellSpecTableI(t *testing.T) {
+	for _, tc := range []struct {
+		mode, x, y, l    bool
+		s, r, xOut, yOut bool
+		why              string
+	}{
+		{true, true, true, false, true, false, false, false, "request meets free column: grant, absorb X, block Y"},
+		{true, true, true, true, true, false, false, false, "grant fires regardless of stale latch; Y blocked"},
+		{true, true, false, false, false, false, true, false, "no column signal: request passes right"},
+		{true, false, true, false, false, false, false, true, "no request: free column passes down"},
+		{true, false, true, true, false, false, false, false, "latched cell blocks the column below"},
+		{true, false, false, false, false, false, false, false, "idle cell"},
+		{false, true, true, false, false, true, true, true, "reset mode: X pulses R and passes right, Y passes"},
+		{false, true, false, true, false, true, true, false, "reset rides X rightward across the row"},
+		{false, false, true, true, false, false, false, true, "reset mode: Y ignores the latch"},
+	} {
+		s, r, xOut, yOut := CellSpec(tc.mode, !tc.mode, tc.x, tc.y, tc.l)
+		if s != tc.s || r != tc.r || xOut != tc.xOut || yOut != tc.yOut {
+			t.Errorf("mode=%v x=%v y=%v l=%v: got s=%v r=%v xOut=%v yOut=%v, want s=%v r=%v xOut=%v yOut=%v (%s)",
+				tc.mode, tc.x, tc.y, tc.l, s, r, xOut, yOut, tc.s, tc.r, tc.xOut, tc.yOut, tc.why)
+		}
+	}
+}
+
+func nan() float64 {
+	var zero float64
+	return zero / zero
+}

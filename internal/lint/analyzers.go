@@ -1,0 +1,7 @@
+package lint
+
+// All returns the project's determinism analyzers in their canonical
+// order.
+func All() []*Analyzer {
+	return []*Analyzer{NoRand, NoClock, MapOrder, SeedFlow}
+}

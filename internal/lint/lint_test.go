@@ -1,0 +1,167 @@
+package lint
+
+import (
+	"path/filepath"
+	"regexp"
+	"testing"
+)
+
+var wantRe = regexp.MustCompile(`// want "(.*)"`)
+
+// runTestdata type-checks the testdata package in dir under the given
+// virtual import path, runs one analyzer, and matches its diagnostics
+// against the `// want "regex"` comments in the sources: every want
+// must be hit on its own line, and every diagnostic must be wanted.
+// With expectClean set, want comments are ignored and any diagnostic
+// fails the test — used to prove analyzers stay silent out of scope.
+func runTestdata(t *testing.T, a *Analyzer, dir, virtualPath string, expectClean bool) {
+	t.Helper()
+	root, mod, err := FindModule(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := NewLoader(root, mod, nil)
+	abs, err := filepath.Abs(filepath.Join("testdata", "src", dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.LoadDir(virtualPath, abs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run(pkg, l.Fset, []*Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if expectClean {
+		for _, d := range diags {
+			t.Errorf("unexpected diagnostic in out-of-scope load %s at %s:%d: %s",
+				virtualPath, filepath.Base(d.Pos.Filename), d.Pos.Line, d.Message)
+		}
+		return
+	}
+	type want struct {
+		line    int
+		re      *regexp.Regexp
+		matched bool
+	}
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("bad want regexp %q: %v", m[1], err)
+				}
+				wants = append(wants, &want{line: l.Fset.Position(c.Pos()).Line, re: re})
+			}
+		}
+	}
+	if len(wants) == 0 {
+		t.Fatalf("testdata %s has no want comments", dir)
+	}
+	for _, d := range diags {
+		ok := false
+		for _, w := range wants {
+			if w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				ok = true
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected diagnostic %s:%d:%d: %s",
+				filepath.Base(d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("no diagnostic at line %d matching %q", w.line, w.re)
+		}
+	}
+}
+
+func TestNoRand(t *testing.T) {
+	runTestdata(t, NoRand, "norand", "rsin/testdata/norand", false)
+}
+
+// TestNoRandExempt loads the violating sources as the rng package
+// itself, where the import is the whole point.
+func TestNoRandExempt(t *testing.T) {
+	runTestdata(t, NoRand, "norand", "rsin/internal/rng", true)
+}
+
+func TestNoClock(t *testing.T) {
+	runTestdata(t, NoClock, "noclock", "rsin/internal/sim", false)
+}
+
+// TestNoClockOutsideModel loads the same clock-reading sources as the
+// runner package, where wall-clock timing is legitimate.
+func TestNoClockOutsideModel(t *testing.T) {
+	runTestdata(t, NoClock, "noclock", "rsin/internal/runner", true)
+}
+
+func TestMapOrder(t *testing.T) {
+	runTestdata(t, MapOrder, "maporder", "rsin/testdata/maporder", false)
+}
+
+func TestSeedFlow(t *testing.T) {
+	runTestdata(t, SeedFlow, "seedflow", "rsin/internal/experiments", false)
+}
+
+// TestSeedFlowOutsideSweeps loads the same sources under a path the
+// seed contract does not govern.
+func TestSeedFlowOutsideSweeps(t *testing.T) {
+	runTestdata(t, SeedFlow, "seedflow", "rsin/testdata/seedflow", true)
+}
+
+// TestRepoIsClean runs every analyzer over the whole module — the
+// same contract CI enforces through cmd/rsinlint.
+func TestRepoIsClean(t *testing.T) {
+	root, mod, err := FindModule(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := NewLoader(root, mod, nil)
+	paths, err := l.Packages([]string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no packages found under module root")
+	}
+	for _, path := range paths {
+		pkg, err := l.Load(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		diags, err := Run(pkg, l.Fset, All())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+		}
+	}
+}
+
+// TestPackagesSkipsTestdata pins the pattern walker's exclusions.
+func TestPackagesSkipsTestdata(t *testing.T) {
+	root, mod, err := FindModule(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := NewLoader(root, mod, nil)
+	paths, err := l.Packages([]string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range paths {
+		if regexp.MustCompile(`/testdata(/|$)`).MatchString(p) {
+			t.Errorf("pattern walk leaked testdata package %s", p)
+		}
+	}
+}

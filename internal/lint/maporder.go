@@ -1,0 +1,206 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MapOrder reports loops over maps whose bodies let Go's randomized
+// iteration order escape: appending to a slice declared outside the
+// loop (unless the result is sorted afterwards in the same function)
+// or writing output directly from inside the loop. Both patterns make
+// byte-level output depend on map hashing, which varies run to run.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc: "flag range-over-map loops that accumulate into outer slices without a " +
+		"subsequent sort, or that emit output from inside the loop",
+	Run: runMapOrder,
+}
+
+func runMapOrder(p *Pass) error {
+	for _, f := range p.Files {
+		var bodies []*ast.BlockStmt
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					bodies = append(bodies, fn.Body)
+				}
+			case *ast.FuncLit:
+				bodies = append(bodies, fn.Body)
+			}
+			return true
+		})
+		for _, b := range bodies {
+			checkBodyMapOrder(p, b)
+		}
+	}
+	return nil
+}
+
+// inspectSameFunc walks n without descending into nested function
+// literals — those are analyzed as functions in their own right.
+func inspectSameFunc(n ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok && m != n {
+			return false
+		}
+		return fn(m)
+	})
+}
+
+func checkBodyMapOrder(p *Pass, body *ast.BlockStmt) {
+	inspectSameFunc(body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := p.Info.TypeOf(rng.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		checkMapRange(p, body, rng)
+		return true
+	})
+}
+
+func checkMapRange(p *Pass, body *ast.BlockStmt, rng *ast.RangeStmt) {
+	inspectSameFunc(rng.Body, func(n ast.Node) bool {
+		switch stmt := n.(type) {
+		case *ast.AssignStmt:
+			if len(stmt.Lhs) != len(stmt.Rhs) {
+				return true
+			}
+			for i, lhs := range stmt.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || !isAppendCall(p, stmt.Rhs[i]) {
+					continue
+				}
+				obj := p.Info.ObjectOf(id)
+				if obj == nil || insideNode(obj.Pos(), rng) {
+					continue // loop-local accumulator: invisible outside
+				}
+				if sortedAfter(p, body, rng, obj) {
+					continue
+				}
+				p.Reportf(stmt.Pos(),
+					"append to %s inside range over map: iteration order is randomized; sort %s afterwards or iterate sorted keys",
+					id.Name, id.Name)
+			}
+		case *ast.CallExpr:
+			if name, ok := outputCall(p, rng, stmt); ok {
+				p.Reportf(stmt.Pos(),
+					"%s inside range over map: output order follows randomized map iteration; collect and sort first",
+					name)
+			}
+		}
+		return true
+	})
+}
+
+// isAppendCall reports whether e is a call to the append builtin.
+func isAppendCall(p *Pass, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := p.Info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+func insideNode(pos token.Pos, n ast.Node) bool {
+	return n.Pos() <= pos && pos < n.End()
+}
+
+// outputCall classifies calls that externalize data from inside the
+// loop: fmt printing, io.WriteString, and writer methods invoked on
+// receivers declared outside the range.
+func outputCall(p *Pass, rng *ast.RangeStmt, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	if pn, ok := p.Info.Uses[id].(*types.PkgName); ok {
+		path := pn.Imported().Path()
+		name := sel.Sel.Name
+		if path == "fmt" && (strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint")) {
+			return "fmt." + name, true
+		}
+		if path == "io" && name == "WriteString" {
+			return "io.WriteString", true
+		}
+		return "", false
+	}
+	switch sel.Sel.Name {
+	case "Write", "WriteString", "WriteByte", "WriteRune":
+		obj := p.Info.ObjectOf(id)
+		if obj != nil && !insideNode(obj.Pos(), rng) {
+			return id.Name + "." + sel.Sel.Name, true
+		}
+	}
+	return "", false
+}
+
+// sortedAfter reports whether a sort or slices call referencing obj
+// appears after the range loop in the same function body — the
+// canonical collect-then-sort idiom.
+func sortedAfter(p *Pass, body *ast.BlockStmt, rng *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	inspectSameFunc(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pn, ok := p.Info.Uses[id].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		if path := pn.Imported().Path(); path != "sort" && path != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if referencesObject(p, arg, obj) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func referencesObject(p *Pass, e ast.Expr, obj types.Object) bool {
+	hit := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && p.Info.ObjectOf(id) == obj {
+			hit = true
+			return false
+		}
+		return true
+	})
+	return hit
+}

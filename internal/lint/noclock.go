@@ -1,0 +1,58 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// modelPackages are the packages whose results must be pure functions
+// of (configuration, seed): the analytic models, the event-driven
+// simulator, and the experiment sweeps built on them. Wall-clock reads
+// are legal elsewhere (internal/runner times progress reports, cmd/
+// binaries time their own runs).
+var modelPackages = map[string]bool{
+	"rsin/internal/markov":      true,
+	"rsin/internal/sim":         true,
+	"rsin/internal/bus":         true,
+	"rsin/internal/crossbar":    true,
+	"rsin/internal/omega":       true,
+	"rsin/internal/experiments": true,
+}
+
+// NoClock reports uses of time.Now and time.Since inside model
+// packages. A model whose numbers depend on when it ran is not
+// reproducible; simulated time lives in event timestamps, not the
+// wall clock.
+var NoClock = &Analyzer{
+	Name: "noclock",
+	Doc: "forbid wall-clock reads (time.Now, time.Since) in model packages; " +
+		"model output must depend only on configuration and seed",
+	Run: func(p *Pass) error {
+		if !modelPackages[p.Path] {
+			return nil
+		}
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				id, ok := sel.X.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				pn, ok := p.Info.Uses[id].(*types.PkgName)
+				if !ok || pn.Imported().Path() != "time" {
+					return true
+				}
+				if sel.Sel.Name == "Now" || sel.Sel.Name == "Since" {
+					p.Reportf(sel.Pos(),
+						"wall-clock time.%s in model package %s: model results must not depend on when they run",
+						sel.Sel.Name, p.Path)
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}

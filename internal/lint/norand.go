@@ -1,0 +1,39 @@
+package lint
+
+import (
+	"strconv"
+)
+
+// rngPackage is the only package allowed to touch the standard
+// library's random-number generators: it wraps them behind an
+// explicitly seeded, reproducible stream type.
+const rngPackage = "rsin/internal/rng"
+
+// NoRand reports imports of math/rand and math/rand/v2 anywhere
+// outside rsin/internal/rng. Model code that draws from an implicitly
+// or globally seeded generator breaks run-to-run reproducibility and
+// the workers=1 vs workers=N byte-identity contract.
+var NoRand = &Analyzer{
+	Name: "norand",
+	Doc: "forbid math/rand imports outside rsin/internal/rng; " +
+		"all randomness must flow through explicitly seeded rng.Source streams",
+	Run: func(p *Pass) error {
+		if p.Path == rngPackage {
+			return nil
+		}
+		for _, f := range p.Files {
+			for _, imp := range f.Imports {
+				path, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					continue
+				}
+				if path == "math/rand" || path == "math/rand/v2" {
+					p.Reportf(imp.Pos(),
+						"import of %s outside %s: draw randomness through an explicitly seeded rng.Source",
+						path, rngPackage)
+				}
+			}
+		}
+		return nil
+	},
+}

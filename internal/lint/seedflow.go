@@ -1,0 +1,144 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// SeedFlow enforces the seed-derivation contract in the packages that
+// run sweeps: every rng stream construction and every Seed handed to a
+// simulation or network build must come from runner.DeriveSeed (or be
+// a value threaded in from elsewhere, where the producer is checked in
+// turn). Ad-hoc arithmetic like base+uint64(i) reintroduces correlated
+// or colliding streams across sweep points — the exact bug the derived
+// seed scheme removed.
+var SeedFlow = &Analyzer{
+	Name: "seedflow",
+	Doc: "in experiment and cmd packages, rng.New arguments and Seed fields of " +
+		"sim.Config / config.BuildOptions must be derived via runner.DeriveSeed",
+	Run: runSeedFlow,
+}
+
+// seedFlowScoped limits the check to the sweep-running packages; leaf
+// model packages receive already-derived seeds as plain parameters.
+func seedFlowScoped(path string) bool {
+	return path == "rsin/internal/experiments" || strings.HasPrefix(path, "rsin/cmd/")
+}
+
+// seedStructs are the configuration types whose Seed field feeds a
+// random stream.
+var seedStructs = map[string]bool{
+	"rsin/internal/sim.Config":          true,
+	"rsin/internal/config.BuildOptions": true,
+}
+
+func isSeedStruct(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	return seedStructs[obj.Pkg().Path()+"."+obj.Name()]
+}
+
+func runSeedFlow(p *Pass) error {
+	if !seedFlowScoped(p.Path) {
+		return nil
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.CallExpr:
+				if isPkgFunc(p, node.Fun, rngPackage, "New") && len(node.Args) == 1 {
+					checkSeedExpr(p, node.Args[0], "rng.New argument")
+				}
+			case *ast.CompositeLit:
+				if !isSeedStruct(p.Info.TypeOf(node)) {
+					return true
+				}
+				for _, elt := range node.Elts {
+					kv, ok := elt.(*ast.KeyValueExpr)
+					if !ok {
+						continue
+					}
+					if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "Seed" {
+						checkSeedExpr(p, kv.Value, "Seed field")
+					}
+				}
+			case *ast.AssignStmt:
+				if len(node.Lhs) != len(node.Rhs) {
+					return true
+				}
+				for i, lhs := range node.Lhs {
+					sel, ok := lhs.(*ast.SelectorExpr)
+					if !ok || sel.Sel.Name != "Seed" {
+						continue
+					}
+					if isSeedStruct(p.Info.TypeOf(sel.X)) {
+						checkSeedExpr(p, node.Rhs[i], "Seed assignment")
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkSeedExpr accepts either an expression containing a
+// runner.DeriveSeed call, or a bare value reference (identifier,
+// selector, dereference) — a threaded seed whose producer is checked
+// where it is constructed. Anything computed inline (literals,
+// arithmetic) is flagged.
+func checkSeedExpr(p *Pass, e ast.Expr, what string) {
+	for {
+		if paren, ok := e.(*ast.ParenExpr); ok {
+			e = paren.X
+			continue
+		}
+		break
+	}
+	switch e.(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr:
+		return
+	}
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok &&
+			isPkgFunc(p, call.Fun, "rsin/internal/runner", "DeriveSeed") {
+			found = true
+			return false
+		}
+		return true
+	})
+	if !found {
+		p.Reportf(e.Pos(),
+			"%s is not derived via runner.DeriveSeed: inline seed computation breaks the per-point stream contract",
+			what)
+	}
+}
+
+// isPkgFunc reports whether fun is a selector pkg.Name where pkg is an
+// import of pkgPath.
+func isPkgFunc(p *Pass, fun ast.Expr, pkgPath, name string) bool {
+	sel, ok := fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := p.Info.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == pkgPath
+}

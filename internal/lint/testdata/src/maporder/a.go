@@ -1,0 +1,94 @@
+// Package maporder exercises the maporder analyzer: loops over maps
+// must not leak Go's randomized iteration order into accumulated
+// slices or output streams.
+package maporder
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// BadAppend accumulates map keys with no subsequent sort.
+func BadAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "append to keys inside range over map"
+	}
+	return keys
+}
+
+// GoodAppendSorted collects then sorts — the canonical idiom.
+func GoodAppendSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// GoodSortSlice suppresses via sort.Slice on the accumulated value.
+func GoodSortSlice(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// BadPrint emits output in map order.
+func BadPrint(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // want "fmt\.Printf inside range over map"
+	}
+}
+
+// BadBuilder streams into an outer writer in map order.
+func BadBuilder(m map[string]int, sb *strings.Builder) {
+	for k := range m {
+		sb.WriteString(k) // want "sb\.WriteString inside range over map"
+	}
+}
+
+// GoodLocalAppend appends only to a loop-local slice, which cannot
+// carry iteration order out of the loop on its own.
+func GoodLocalAppend(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		n += len(local)
+	}
+	return n
+}
+
+// GoodSliceRange ranges over a slice, which is ordered.
+func GoodSliceRange(xs []string) []string {
+	var out []string
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+// GoodClosureSorted sorts within the same closure body — the analyzer
+// scopes its search to the enclosing function literal.
+var GoodClosureSorted = func(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// GoodMapWrite writes into another map, which is order-independent.
+func GoodMapWrite(m map[string]int) map[string]int {
+	out := map[string]int{}
+	for k, v := range m {
+		out[k] = v + 1
+	}
+	return out
+}

@@ -1,0 +1,14 @@
+// Package norand exercises the norand analyzer: both generations of
+// the standard library's rand package are forbidden outside
+// rsin/internal/rng.
+package norand
+
+import (
+	"math/rand"           // want "import of math/rand outside"
+	randv2 "math/rand/v2" // want "import of math/rand/v2 outside"
+)
+
+// Draws uses both generators so the imports are live.
+func Draws() (int, int) {
+	return rand.Int(), randv2.Int()
+}

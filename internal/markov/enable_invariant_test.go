@@ -1,0 +1,6 @@
+package markov
+
+import "rsin/internal/invariant"
+
+// The model invariant checks are always on under go test.
+func init() { invariant.Enable(true) }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"rsin/internal/invariant"
 	"rsin/internal/linalg"
 )
 
@@ -119,6 +120,11 @@ func SolveMatrixGeometric(p Params) (Result, error) {
 	res.MeanQueue = meanQ
 	res.Delay = meanQ / p.TotalArrival()
 	res.NormalizedDelay = res.Delay * p.MuS
+	if invariant.Enabled() {
+		if verr := verifySolution(p, pi0, levels, topGeometric); verr != nil {
+			return Result{}, verr
+		}
+	}
 	return res, nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"rsin/internal/invariant"
 	"rsin/internal/linalg"
 )
 
@@ -163,6 +164,11 @@ func solveStagesAt(p Params, q int) (Result, error) {
 	res := metricsFromDistribution(p, pi0, levels)
 	if math.IsNaN(res.Delay) || res.Delay < 0 {
 		return Result{}, fmt.Errorf("markov: stage solve lost precision at q=%d", q)
+	}
+	if invariant.Enabled() {
+		if verr := verifySolution(p, pi0, levels, topLiteral); verr != nil {
+			return Result{}, verr
+		}
 	}
 	return res, nil
 }

@@ -3,6 +3,7 @@ package markov
 import (
 	"fmt"
 
+	"rsin/internal/invariant"
 	"rsin/internal/linalg"
 )
 
@@ -112,6 +113,11 @@ func solveTruncatedMass(p Params, maxLevel int) (Result, float64, error) {
 	for _, pl := range levels {
 		for i := range pl {
 			pl[i] /= total
+		}
+	}
+	if invariant.Enabled() {
+		if verr := verifySolution(p, pi0, levels, topTruncated); verr != nil {
+			return Result{}, 0, verr
 		}
 	}
 	res := metricsFromDistribution(p, pi0, levels)

@@ -30,6 +30,7 @@ package multireq
 
 import (
 	"fmt"
+	"sort"
 
 	"rsin/internal/core"
 )
@@ -208,7 +209,16 @@ func (p *Pool) Deadlocked() bool {
 	if holders < 2 {
 		return false
 	}
+	// Probe in sorted pid order: Acquire has network-policy side effects
+	// (e.g. randomized port selection draws), so ranging over the map
+	// directly would make the probe sequence depend on Go's map iteration
+	// order and break run-to-run determinism.
+	pids := make([]int, 0, len(p.reqs))
 	for pid := range p.reqs {
+		pids = append(pids, pid)
+	}
+	sort.Ints(pids)
+	for _, pid := range pids {
 		if g, ok := p.net.Acquire(pid); ok {
 			p.net.ReleasePath(g)
 			p.net.ReleaseResource(g)

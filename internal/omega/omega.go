@@ -39,6 +39,7 @@ import (
 	"math/bits"
 
 	"rsin/internal/core"
+	"rsin/internal/invariant"
 	"rsin/internal/rng"
 )
 
@@ -295,11 +296,15 @@ func (o *Omega) Acquire(pid int) (core.Grant, bool) {
 	if !ok {
 		o.tel.Failures++
 		o.tel.PathBlock++
+		o.verify()
 		return core.Grant{}, false
 	}
+	invariant.Assert(!o.portBusy[port] && o.free[port] > 0, "omega",
+		"routed to ineligible port %d (busy=%v free=%d)", port, o.portBusy[port], o.free[port])
 	o.portBusy[port] = true
 	o.free[port]--
 	o.tel.Grants++
+	o.verify()
 	return core.Grant{Processor: pid, Port: port, Path: pathGrant{wires: wires}}, true
 }
 
@@ -408,11 +413,22 @@ func (o *Omega) acquireStale(pid int) (core.Grant, bool) {
 	if !ok {
 		o.tel.Failures++
 		o.tel.PathBlock++
+		o.verify()
 		return core.Grant{}, false
 	}
+	// The paper's status-bit consistency guarantee: a forward-routed
+	// request never lands on a port whose frozen availability bit was
+	// false — eligibility only decreases while the snapshot is held, so
+	// a port that is live-eligible at grant time must have had its bit
+	// set in phase 1.
+	invariant.Assert(o.snap[o.n-1][port], "omega",
+		"request granted port %d whose phase-1 availability bit was false", port)
+	invariant.Assert(!o.portBusy[port] && o.free[port] > 0, "omega",
+		"routed to ineligible port %d (busy=%v free=%d)", port, o.portBusy[port], o.free[port])
 	o.portBusy[port] = true
 	o.free[port]--
 	o.tel.Grants++
+	o.verify()
 	return core.Grant{Processor: pid, Port: port, Path: pathGrant{wires: wires}}, true
 }
 
@@ -465,7 +481,60 @@ func (o *Omega) AcquireTag(pid, dst int) (core.Grant, bool) {
 	o.portBusy[port] = true
 	o.free[port]--
 	o.tel.Grants++
+	o.verify()
 	return core.Grant{Processor: pid, Port: port, Path: pathGrant{wires: reverseCopy(wires)}}, true
+}
+
+// verify panics with a *invariant.Violation when the runtime checks
+// are on and the dynamic state is structurally inconsistent.
+func (o *Omega) verify() {
+	if !invariant.Enabled() {
+		return
+	}
+	if err := o.VerifyState(); err != nil {
+		panic(err)
+	}
+}
+
+// VerifyState checks the structural consistency of the network's
+// dynamic state: every stage carries the same number of circuits (a
+// routed circuit claims exactly one output wire per stage), the
+// last-stage wire occupancy mirrors the port-busy flags (the wire
+// leaving stage n−1 at position w is port w), and free-resource
+// counts stay within [0, perPort].
+func (o *Omega) VerifyState() error {
+	occ0 := 0
+	for w := 0; w < o.size; w++ {
+		if o.outOcc[0][w] {
+			occ0++
+		}
+	}
+	for s := 1; s < o.n; s++ {
+		c := 0
+		for w := 0; w < o.size; w++ {
+			if o.outOcc[s][w] {
+				c++
+			}
+		}
+		if c != occ0 {
+			return invariant.Errorf("omega",
+				"stage %d carries %d circuits while stage 0 carries %d", s, c, occ0)
+		}
+	}
+	for w := 0; w < o.size; w++ {
+		if o.outOcc[o.n-1][w] != o.portBusy[w] {
+			return invariant.Errorf("omega",
+				"port %d: last-stage wire occupancy %v disagrees with port-busy flag %v",
+				w, o.outOcc[o.n-1][w], o.portBusy[w])
+		}
+	}
+	for j, f := range o.free {
+		if f < 0 || f > o.perPort {
+			return invariant.Errorf("omega",
+				"port %d free-resource count %d outside [0,%d]", j, f, o.perPort)
+		}
+	}
+	return nil
 }
 
 func reverseCopy(w []int) []int {
@@ -492,6 +561,7 @@ func (o *Omega) ReleasePath(g core.Grant) {
 		panic("omega: ReleasePath with idle port")
 	}
 	o.portBusy[g.Port] = false
+	o.verify()
 }
 
 // ReleaseResource implements core.Network.

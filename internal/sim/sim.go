@@ -23,6 +23,7 @@ import (
 	"sort"
 
 	"rsin/internal/core"
+	"rsin/internal/invariant"
 	"rsin/internal/rng"
 	"rsin/internal/stats"
 )
@@ -135,7 +136,19 @@ type procState struct {
 // net must be idle (freshly constructed): grants held by a previous run
 // are never released by a later one, so reusing a network leaks
 // capacity and biases the measurement toward saturation.
-func Run(net core.Network, cfg Config) (Result, error) {
+func Run(net core.Network, cfg Config) (res Result, err error) {
+	// Invariant violations inside the network models and accumulators
+	// surface as panics (invariant.Assert, stats.ErrTimeBackwards);
+	// convert the ones we recognize into errors and re-raise the rest.
+	defer func() {
+		if r := recover(); r != nil {
+			if verr := invariant.ClassifyPanic(r); verr != nil {
+				res, err = Result{}, fmt.Errorf("sim: %w", verr)
+				return
+			}
+			panic(r)
+		}
+	}()
 	if cfg.Lambda < 0 || cfg.MuN <= 0 || cfg.MuS <= 0 {
 		return Result{}, fmt.Errorf("sim: invalid rates λ=%g μn=%g μs=%g", cfg.Lambda, cfg.MuN, cfg.MuS)
 	}
@@ -185,6 +198,12 @@ func Run(net core.Network, cfg Config) (Result, error) {
 		warmedUp  bool
 		rrStart   int
 		retryPend = make([]bool, p)
+
+		// Full-run flow counters for the conservation invariant; unlike
+		// `completed` they are never reset at warmup.
+		arrivedTotal int64
+		servedTotal  int64
+		inService    int
 	)
 	schedule := func(e event) {
 		e.seq = seq
@@ -305,6 +324,11 @@ func Run(net core.Network, cfg Config) (Result, error) {
 			break // λ == 0: nothing will ever happen
 		}
 		e := h.pop()
+		if invariant.Enabled() {
+			if verr := invariant.NonDecreasing("sim", now, e.time); verr != nil {
+				return Result{}, verr
+			}
+		}
 		now = e.time
 		if !warmedUp && now >= cfg.Warmup {
 			warmedUp = true
@@ -314,6 +338,7 @@ func Run(net core.Network, cfg Config) (Result, error) {
 		}
 		switch e.kind {
 		case evArrival:
+			arrivedTotal++
 			ps := &procs[e.pid]
 			ps.queue = append(ps.queue, now)
 			setQ(1)
@@ -327,6 +352,7 @@ func Run(net core.Network, cfg Config) (Result, error) {
 			net.ReleasePath(g)
 			procs[e.pid].transmitting = false
 			setBusy(-1)
+			inService++
 			schedule(event{time: now + src.Exp(cfg.MuS), kind: evSvcDone, gidx: e.gidx})
 			// The freed path (and bus) may unblock queued tasks,
 			// including this processor's own next task.
@@ -334,6 +360,8 @@ func Run(net core.Network, cfg Config) (Result, error) {
 		case evSvcDone:
 			g, arrived := grants.take(e.gidx)
 			net.ReleaseResource(g)
+			inService--
+			servedTotal++
 			completed++
 			if warmedUp {
 				responses.Add(now - arrived)
@@ -346,7 +374,18 @@ func Run(net core.Network, cfg Config) (Result, error) {
 		}
 	}
 
-	res := Result{
+	if invariant.Enabled() {
+		inFlight := int64(totalQ + busyPorts + inService)
+		if verr := invariant.Conserved("sim", arrivedTotal, servedTotal, inFlight); verr != nil {
+			return Result{}, verr
+		}
+		if out := grants.outstanding(); out != busyPorts+inService {
+			return Result{}, invariant.Errorf("sim",
+				"grant table leak: %d outstanding grants for %d tasks holding the network", out, busyPorts+inService)
+		}
+	}
+
+	res = Result{
 		Delay:     delays.Interval(0.95),
 		Response:  responses.Interval(0.95),
 		Completed: completed,
@@ -392,6 +431,9 @@ func (t *grantTable) put(g core.Grant, arrived float64) int {
 }
 
 func (t *grantTable) get(i int) core.Grant { return t.slots[i].g }
+
+// outstanding counts grants currently held (put but not yet taken).
+func (t *grantTable) outstanding() int { return len(t.slots) - len(t.free) }
 
 func (t *grantTable) take(i int) (core.Grant, float64) {
 	s := t.slots[i]

@@ -6,10 +6,19 @@
 package stats
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
 )
+
+// ErrTimeBackwards is the sentinel wrapped by the panic TimeWeighted
+// raises when observation times decrease. Feeding a time-weighted
+// accumulator out of order is a programming error in the caller, so
+// Set keeps panicking rather than returning an error — but it panics
+// with an error value wrapping this sentinel so recovery code (the
+// invariant checks in the simulator) can classify it with errors.Is.
+var ErrTimeBackwards = errors.New("stats: TimeWeighted time went backwards")
 
 // Welford accumulates a streaming sample mean and variance.
 // The zero value is an empty accumulator ready to use.
@@ -99,7 +108,7 @@ type TimeWeighted struct {
 func (tw *TimeWeighted) Set(t, v float64) {
 	if tw.started {
 		if t < tw.lastT {
-			panic(fmt.Sprintf("stats: TimeWeighted time went backwards: %v < %v", t, tw.lastT))
+			panic(fmt.Errorf("%w: %v < %v", ErrTimeBackwards, t, tw.lastT))
 		}
 		dt := t - tw.lastT
 		tw.area += dt * tw.lastV

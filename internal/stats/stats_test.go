@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
@@ -90,8 +91,13 @@ func TestTimeWeightedResetForWarmup(t *testing.T) {
 
 func TestTimeWeightedPanicsOnBackwardsTime(t *testing.T) {
 	defer func() {
-		if recover() == nil {
-			t.Error("expected panic on backwards time")
+		r := recover()
+		if r == nil {
+			t.Fatal("expected panic on backwards time")
+		}
+		err, ok := r.(error)
+		if !ok || !errors.Is(err, ErrTimeBackwards) {
+			t.Errorf("panic value %v does not wrap ErrTimeBackwards", r)
 		}
 	}()
 	var tw TimeWeighted
