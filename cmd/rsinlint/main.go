@@ -1,18 +1,42 @@
-// Command rsinlint runs the project's determinism analyzers (norand,
-// noclock, maporder, seedflow) over packages of this module. It is
-// built only on the standard library — no golang.org/x/tools — so it
-// works in the dependency-free build environment.
+// Command rsinlint runs the project's static analyzers over packages
+// of this module: the determinism suite (norand, noclock, maporder,
+// seedflow) and the dataflow suite (floatsafe, errflow, sharedstate,
+// probrange) built on the internal CFG and reaching-definitions
+// engine. It is built only on the standard library — no
+// golang.org/x/tools — so it works in the dependency-free build
+// environment.
 //
 // Usage:
 //
-//	go run ./cmd/rsinlint [-tags taglist] [packages]
+//	go run ./cmd/rsinlint [-tags taglist] [-json] [packages]
+//	go run ./cmd/rsinlint -explain <analyzer>
 //
 // Package patterns are module-relative ("./...", "./internal/sim");
-// the default is "./...". The exit status is 1 if any analyzer
-// reported a diagnostic, 2 on operational errors.
+// the default is "./...". The exit status is 1 if any finding
+// survived suppression, 2 on operational errors.
+//
+// Findings can be suppressed at the reporting site with a directive
+// on the same line or the line above:
+//
+//	//lint:ignore <analyzer>[,<analyzer>] <reason>
+//
+// Malformed directives, directives naming unknown analyzers, and
+// directives that no longer suppress anything are themselves reported
+// (as analyzer "suppression") and cannot be suppressed.
+//
+// With -json the findings are emitted as a single JSON object:
+//
+//	{
+//	  "findings": [
+//	    {"file": "internal/x/y.go", "line": 12, "col": 3,
+//	     "analyzer": "errflow", "message": "..."}
+//	  ],
+//	  "suppressed": 2
+//	}
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,14 +48,74 @@ import (
 
 func main() {
 	tags := flag.String("tags", "", "comma-separated build tags to apply when selecting files")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON object on stdout")
+	explain := flag.String("explain", "", "print the documentation of one analyzer and exit")
+	flag.Usage = usage
 	flag.Parse()
-	if err := run(*tags, flag.Args()); err != nil {
+	if *explain != "" {
+		if err := runExplain(*explain); err != nil {
+			fmt.Fprintln(os.Stderr, "rsinlint:", err)
+			os.Exit(2)
+		}
+		return
+	}
+	if err := run(*tags, *jsonOut, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "rsinlint:", err)
 		os.Exit(2)
 	}
 }
 
-func run(tags string, patterns []string) error {
+func usage() {
+	fmt.Fprintf(flag.CommandLine.Output(),
+		"usage: rsinlint [-tags taglist] [-json] [packages]\n"+
+			"       rsinlint -explain <analyzer>\n\nflags:\n")
+	flag.PrintDefaults()
+	fmt.Fprintf(flag.CommandLine.Output(), "\nanalyzers:\n")
+	for _, a := range lint.All() {
+		fmt.Fprintf(flag.CommandLine.Output(), "  %-12s %s\n", a.Name, firstSentence(a.Doc))
+	}
+	fmt.Fprintf(flag.CommandLine.Output(), "  %-12s %s\n", lint.SuppressAnalyzer,
+		"problems with //lint:ignore directives themselves (reserved, not suppressible)")
+}
+
+func firstSentence(s string) string {
+	if i := strings.Index(s, "; "); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+func runExplain(name string) error {
+	if name == lint.SuppressAnalyzer {
+		fmt.Printf("%s:\n  Reserved analyzer name for problems with //lint:ignore directives:\n"+
+			"  malformed syntax, unknown analyzer names, and directives whose finding\n"+
+			"  is gone. These cannot be suppressed; fix or delete the directive.\n", name)
+		return nil
+	}
+	for _, a := range lint.All() {
+		if a.Name == name {
+			fmt.Printf("%s:\n  %s\n", a.Name, strings.ReplaceAll(a.Doc, "; ", ";\n  "))
+			return nil
+		}
+	}
+	return fmt.Errorf("unknown analyzer %q (run with -h for the list)", name)
+}
+
+// finding is the JSON shape of one surviving diagnostic.
+type finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+type report struct {
+	Findings   []finding `json:"findings"`
+	Suppressed int       `json:"suppressed"`
+}
+
+func run(tags string, jsonOut bool, patterns []string) error {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -58,7 +142,8 @@ func run(tags string, patterns []string) error {
 		return fmt.Errorf("no packages match %v", patterns)
 	}
 	analyzers := lint.All()
-	var count int
+	known := lint.KnownAnalyzers(analyzers)
+	out := report{Findings: []finding{}}
 	for _, path := range paths {
 		pkg, err := loader.Load(path)
 		if err != nil {
@@ -68,16 +153,31 @@ func run(tags string, patterns []string) error {
 		if err != nil {
 			return err
 		}
+		diags, suppressed := lint.ApplySuppressions(pkg, loader.Fset, diags, known)
+		out.Suppressed += suppressed
 		for _, d := range diags {
 			name := d.Pos.Filename
 			if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
 				name = rel
 			}
-			fmt.Printf("%s:%d:%d: [%s] %s\n", name, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
-			count++
+			out.Findings = append(out.Findings, finding{
+				File: name, Line: d.Pos.Line, Col: d.Pos.Column,
+				Analyzer: d.Analyzer, Message: d.Message,
+			})
 		}
 	}
-	if count > 0 {
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			return err
+		}
+	} else {
+		for _, f := range out.Findings {
+			fmt.Printf("%s:%d:%d: [%s] %s\n", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+		}
+	}
+	if len(out.Findings) > 0 {
 		os.Exit(1)
 	}
 	return nil

@@ -83,9 +83,9 @@ func main() {
 		}
 		fmt.Printf("analytic delay d        : %.6g\n", res.Delay)
 		fmt.Printf("normalized delay d·μs   : %.6g\n", res.NormalizedDelay)
-		fmt.Printf("bus utilization         : %.4g\n", res.BusUtilization)
-		fmt.Printf("resource utilization    : %.4g\n", res.ResourceUtil)
-		fmt.Printf("P(all resources busy)   : %.4g\n", res.PAllBusy)
+		fmt.Printf("bus utilization         : %.4g\n", invariant.MustProbability("markov", "bus utilization", res.BusUtilization))
+		fmt.Printf("resource utilization    : %.4g\n", invariant.MustProbability("markov", "resource utilization", res.ResourceUtil))
+		fmt.Printf("P(all resources busy)   : %.4g\n", invariant.MustProbability("markov", "P(all busy)", res.PAllBusy))
 		return
 	}
 
@@ -133,7 +133,7 @@ func main() {
 	fmt.Printf("simulated delay d       : %s\n", res.Delay)
 	fmt.Printf("normalized delay d·μs   : %s\n", res.NormalizedDelay)
 	fmt.Printf("mean queue length       : %.4g\n", res.MeanQueue)
-	fmt.Printf("port utilization        : %.4g\n", res.Utilization)
+	fmt.Printf("port utilization        : %.4g\n", invariant.MustProbability("sim", "port utilization", res.Utilization))
 	fmt.Printf("tasks completed         : %d over %.4g time units\n", res.Completed, res.SimTime)
 	tel := res.Telemetry
 	if tel.Attempts > 0 {

@@ -18,6 +18,7 @@ import (
 	"log"
 
 	"rsin/internal/config"
+	"rsin/internal/invariant"
 	"rsin/internal/sim"
 )
 
@@ -69,7 +70,8 @@ func main() {
 		}
 		tel := res.Telemetry
 		blocked := 100 * float64(tel.Failures) / float64(tel.Attempts)
-		fmt.Printf("%-22s | %-22s | %-10.3f | %.1f%%\n", s, res.Delay.String(), res.Utilization, blocked)
+		fmt.Printf("%-22s | %-22s | %-10.3f | %.1f%%\n", s, res.Delay.String(),
+			invariant.MustProbability("sim", "port utilization", res.Utilization), blocked)
 	}
 	fmt.Println("\nPrivate slots leave the hot nodes queueing behind their own two slots;")
 	fmt.Println("any sharing network flattens the skew by routing excess work to idle peers.")

@@ -12,6 +12,7 @@ import (
 	"log"
 
 	"rsin/internal/config"
+	"rsin/internal/invariant"
 	"rsin/internal/markov"
 	"rsin/internal/queueing"
 	"rsin/internal/sim"
@@ -50,7 +51,7 @@ func main() {
 	}
 	fmt.Printf("%s at rho=0.5:\n", cfg)
 	fmt.Printf("  queueing delay    : %s (normalized %s)\n", res.Delay, res.NormalizedDelay)
-	fmt.Printf("  port utilization  : %.3f\n", res.Utilization)
+	fmt.Printf("  port utilization  : %.3f\n", invariant.MustProbability("sim", "port utilization", res.Utilization))
 	tel := res.Telemetry
 	fmt.Printf("  blocked attempts  : %.1f%% (%d by busy resources, %d by busy paths)\n",
 		100*float64(tel.Failures)/float64(tel.Attempts), tel.ResourceBlock, tel.PathBlock)

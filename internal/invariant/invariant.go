@@ -103,6 +103,26 @@ func Conserved(domain string, in, out, inFlight int64) error {
 	return Errorf(domain, "conservation violated: %d in != %d out + %d in flight", in, out, inFlight)
 }
 
+// Probability checks that v is a probability: finite and in [0,1].
+func Probability(domain, name string, v float64) error {
+	if math.IsNaN(v) || v < 0 || v > 1 {
+		return Errorf(domain, "%s = %g is not a probability in [0,1]", name, v)
+	}
+	return nil
+}
+
+// MustProbability returns v after asserting it lies in [0,1]. It is
+// the output-path form: wrap a documented-probability value at the
+// point it is printed so a model bug fails loudly instead of being
+// typeset into a results table. Unlike Assert it is not gated on
+// Enabled — the check is a handful of comparisons on a cold path.
+func MustProbability(domain, name string, v float64) float64 {
+	if err := Probability(domain, name, v); err != nil {
+		panic(err)
+	}
+	return v
+}
+
 // Distribution checks that pi is a probability distribution: every
 // entry ≥ -tol and the total within tol of 1.
 func Distribution(domain string, pi []float64, tol float64) error {

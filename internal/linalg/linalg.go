@@ -98,7 +98,7 @@ func Mul(a, b *Matrix) *Matrix {
 	for i := 0; i < a.Rows; i++ {
 		for k := 0; k < a.Cols; k++ {
 			aik := a.At(i, k)
-			if aik == 0 {
+			if NearZero(aik, 0) { // exact sparsity skip
 				continue
 			}
 			rowB := b.Data[k*b.Cols : (k+1)*b.Cols]
@@ -135,7 +135,7 @@ func VecMul(x []float64, a *Matrix) []float64 {
 	}
 	y := make([]float64, a.Cols)
 	for i, xv := range x {
-		if xv == 0 {
+		if NearZero(xv, 0) { // exact sparsity skip
 			continue
 		}
 		row := a.Data[i*a.Cols : (i+1)*a.Cols]
@@ -171,6 +171,9 @@ func Factor(a *Matrix) (*LU, error) {
 		panic("linalg: Factor requires a square matrix")
 	}
 	n := a.Rows
+	if err := a.CheckFinite(); err != nil {
+		return nil, err
+	}
 	lu := a.Clone()
 	piv := make([]int, n)
 	for i := range piv {
@@ -186,7 +189,7 @@ func Factor(a *Matrix) (*LU, error) {
 				maxAbs, p = a, i
 			}
 		}
-		if maxAbs == 0 {
+		if NearZero(maxAbs, 0) {
 			return nil, ErrSingular
 		}
 		if p != k {
@@ -195,10 +198,13 @@ func Factor(a *Matrix) (*LU, error) {
 			sign = -sign
 		}
 		pivVal := lu.At(k, k)
+		if NearZero(pivVal, 0) {
+			return nil, ErrSingular // unreachable: |pivVal| = maxAbs > 0
+		}
 		for i := k + 1; i < n; i++ {
 			f := lu.At(i, k) / pivVal
 			lu.Set(i, k, f)
-			if f == 0 {
+			if NearZero(f, 0) { // exact sparsity skip
 				continue
 			}
 			rowI := lu.Data[i*n : (i+1)*n]
@@ -274,8 +280,12 @@ func (f *LU) Inverse() *Matrix {
 	return f.SolveMatrix(Identity(f.lu.Rows))
 }
 
-// SolveLinear solves A·x = b directly (factor + solve).
+// SolveLinear solves A·x = b directly (factor + solve). Non-finite
+// entries in a or b are rejected with ErrNonFinite.
 func SolveLinear(a *Matrix, b []float64) ([]float64, error) {
+	if err := CheckFiniteVec(b); err != nil {
+		return nil, err
+	}
 	f, err := Factor(a)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,46 @@
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNonFinite is returned when a kernel input contains NaN or ±Inf.
+// Non-finite values silently poison every downstream product and
+// solve, so they are rejected at the boundary with a classified error
+// instead of propagating.
+var ErrNonFinite = errors.New("linalg: non-finite value (NaN or Inf)")
+
+// NearZero reports whether |x| ≤ tol. With tol 0 it is an exact
+// zero test that, unlike x == 0, is explicit about its intent and
+// remains false for NaN. This is the sanctioned form for float zero
+// tests under the floatsafe analyzer.
+func NearZero(x, tol float64) bool { return math.Abs(x) <= tol }
+
+// EqTol reports whether |a−b| ≤ tol — the tolerance comparison to use
+// instead of exact float equality. It is false when either operand is
+// NaN.
+func EqTol(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// CheckFinite returns ErrNonFinite (annotated with the first offending
+// position) when any element of m is NaN or ±Inf.
+func (m *Matrix) CheckFinite() error {
+	for idx, v := range m.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("%w: element (%d,%d) = %g", ErrNonFinite, idx/m.Cols, idx%m.Cols, v)
+		}
+	}
+	return nil
+}
+
+// CheckFiniteVec returns ErrNonFinite when any element of x is NaN or
+// ±Inf.
+func CheckFiniteVec(x []float64) error {
+	for i, v := range x {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("%w: element %d = %g", ErrNonFinite, i, v)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,99 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestNearZeroAndEqTol(t *testing.T) {
+	cases := []struct {
+		name string
+		got  bool
+		want bool
+	}{
+		{"zero is near zero", NearZero(0, 0), true},
+		{"negative zero is near zero", NearZero(math.Copysign(0, -1), 0), true},
+		{"within tolerance", NearZero(1e-12, 1e-9), true},
+		{"outside tolerance", NearZero(1e-6, 1e-9), false},
+		{"NaN is not near zero", NearZero(math.NaN(), 0), false},
+		{"Inf is not near zero", NearZero(math.Inf(1), 1e300), false},
+		{"equal within tolerance", EqTol(1.0, 1.0+1e-12, 1e-9), true},
+		{"unequal outside tolerance", EqTol(1.0, 1.1, 1e-9), false},
+		{"NaN equals nothing", EqTol(math.NaN(), math.NaN(), 1e-9), false},
+	}
+	for _, tc := range cases {
+		if tc.got != tc.want {
+			t.Errorf("%s: got %v, want %v", tc.name, tc.got, tc.want)
+		}
+	}
+}
+
+// TestSolveRejectsNonFinite feeds NaN/Inf-poisoned systems to the
+// factor/solve kernels and checks each rejection is classified as
+// ErrNonFinite instead of surfacing as a garbage solution or a
+// misleading ErrSingular.
+func TestSolveRejectsNonFinite(t *testing.T) {
+	poisons := []struct {
+		name string
+		v    float64
+	}{
+		{"NaN", math.NaN()},
+		{"+Inf", math.Inf(1)},
+		{"-Inf", math.Inf(-1)},
+	}
+	for _, p := range poisons {
+		t.Run("matrix "+p.name, func(t *testing.T) {
+			a := NewMatrix(2, 2)
+			a.Set(0, 0, 2)
+			a.Set(1, 1, 3)
+			a.Set(0, 1, p.v)
+			if _, err := Factor(a); !errors.Is(err, ErrNonFinite) {
+				t.Errorf("Factor on a %s matrix: err = %v, want ErrNonFinite", p.name, err)
+			}
+			if _, err := SolveLinear(a, []float64{1, 1}); !errors.Is(err, ErrNonFinite) {
+				t.Errorf("SolveLinear on a %s matrix: err = %v, want ErrNonFinite", p.name, err)
+			}
+		})
+		t.Run("rhs "+p.name, func(t *testing.T) {
+			a := NewMatrix(2, 2)
+			a.Set(0, 0, 2)
+			a.Set(1, 1, 3)
+			if _, err := SolveLinear(a, []float64{1, p.v}); !errors.Is(err, ErrNonFinite) {
+				t.Errorf("SolveLinear with a %s right-hand side: err = %v, want ErrNonFinite", p.name, err)
+			}
+		})
+	}
+
+	// Control: the same system without poison solves cleanly.
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 2)
+	a.Set(1, 1, 3)
+	x, err := SolveLinear(a, []float64{4, 9})
+	if err != nil {
+		t.Fatalf("clean solve failed: %v", err)
+	}
+	if !EqTol(x[0], 2, 1e-12) || !EqTol(x[1], 3, 1e-12) {
+		t.Errorf("clean solve = %v, want [2 3]", x)
+	}
+}
+
+// TestCheckFinite pins the annotated error text contract: the first
+// offending element's coordinates are reported.
+func TestCheckFinite(t *testing.T) {
+	m := NewMatrix(2, 3)
+	if err := m.CheckFinite(); err != nil {
+		t.Errorf("zero matrix should be finite, got %v", err)
+	}
+	m.Set(1, 2, math.NaN())
+	err := m.CheckFinite()
+	if !errors.Is(err, ErrNonFinite) {
+		t.Fatalf("CheckFinite = %v, want ErrNonFinite", err)
+	}
+	if err := CheckFiniteVec([]float64{0, 1, 2}); err != nil {
+		t.Errorf("finite vector rejected: %v", err)
+	}
+	if err := CheckFiniteVec([]float64{0, math.Inf(-1)}); !errors.Is(err, ErrNonFinite) {
+		t.Errorf("CheckFiniteVec = %v, want ErrNonFinite", err)
+	}
+}

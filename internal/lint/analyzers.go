@@ -1,7 +1,11 @@
 package lint
 
-// All returns the project's determinism analyzers in their canonical
-// order.
+// All returns the project's analyzers in their canonical order: the
+// determinism suite first (AST-only), then the dataflow-powered suite
+// built on the cfg and dataflow packages.
 func All() []*Analyzer {
-	return []*Analyzer{NoRand, NoClock, MapOrder, SeedFlow}
+	return []*Analyzer{
+		NoRand, NoClock, MapOrder, SeedFlow,
+		FloatSafe, ErrFlow, SharedState, ProbRange,
+	}
 }

@@ -1,0 +1,110 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"rsin/internal/lint/dataflow"
+)
+
+// ErrFlow reports error values that are assigned from a call but not
+// read on every path: a path that reaches a return without consulting
+// the error, or that overwrites the variable first (the classic
+// shadow-in-a-loop bug where only the last iteration's error is
+// checked), silently drops a failure. sim.Run's ErrSaturated and the
+// experiment sweeps' classification both depend on every error being
+// looked at.
+var ErrFlow = &Analyzer{
+	Name: "errflow",
+	Doc: "flag error values assigned from a call but unread on some path — " +
+		"reaching a return unchecked, or overwritten (e.g. reassigned in the next " +
+		"loop iteration) before any check",
+	Run: runErrFlow,
+}
+
+func runErrFlow(p *Pass) error {
+	errorType := types.Universe.Lookup("error").Type()
+	for _, f := range p.Files {
+		for _, fn := range functionsIn(f) {
+			g := buildCFG(p, fn.body)
+			df := dataflow.Analyze(fn.node, g, p.Info)
+			for _, d := range df.Defs {
+				if d.Index < 0 || !d.HasInit || d.IsUpdate {
+					continue
+				}
+				if !types.Identical(d.Var.Type(), errorType) {
+					continue
+				}
+				if !defFromCall(p, d) {
+					continue
+				}
+				kind, pos := df.DeadPath(d)
+				switch kind {
+				case dataflow.DeadOverwritten:
+					p.Reportf(d.Node.Pos(),
+						"error assigned to %s is overwritten at line %d before being read: a failure on this path is silently dropped",
+						d.Var.Name(), p.Fset.Position(pos).Line)
+				case dataflow.DeadAtExit:
+					p.Reportf(d.Node.Pos(),
+						"error assigned to %s is never read on some path to return: thread it to the caller or handle it",
+						d.Var.Name())
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// defFromCall reports whether d's defining statement assigns the error
+// variable from (an expression containing) a call. Plain value copies
+// (err = nil, err = prevErr) are resets or threading, not new failure
+// information, and are left to the definitions that produced the value.
+func defFromCall(p *Pass, d *dataflow.Def) bool {
+	assign, ok := d.Node.(*ast.AssignStmt)
+	if !ok {
+		if decl, ok := d.Node.(*ast.DeclStmt); ok {
+			return declHasCall(decl)
+		}
+		return false
+	}
+	var rhs ast.Expr
+	if len(assign.Lhs) == len(assign.Rhs) {
+		for i, lhs := range assign.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok && p.Info.ObjectOf(id) == d.Var {
+				rhs = assign.Rhs[i]
+				break
+			}
+		}
+	} else if len(assign.Rhs) == 1 {
+		rhs = assign.Rhs[0] // multi-value call form
+	}
+	return rhs != nil && containsCall(rhs)
+}
+
+func declHasCall(decl *ast.DeclStmt) bool {
+	gd, ok := decl.Decl.(*ast.GenDecl)
+	if !ok {
+		return false
+	}
+	for _, spec := range gd.Specs {
+		if vs, ok := spec.(*ast.ValueSpec); ok {
+			for _, v := range vs.Values {
+				if containsCall(v) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+func containsCall(e ast.Expr) bool {
+	found := false
+	inspectNoFuncLit(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.CallExpr); ok {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,192 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// floatSafePackages are the numerical model packages whose float
+// arithmetic feeds the paper's reported probabilities and delays. A
+// silent NaN there corrupts exactly the quantities the reproduction
+// exists to report, so equality tests and unguarded divisions are held
+// to a stricter standard than in plumbing code.
+var floatSafePackages = map[string]bool{
+	"rsin/internal/markov":   true,
+	"rsin/internal/linalg":   true,
+	"rsin/internal/stats":    true,
+	"rsin/internal/queueing": true,
+}
+
+// FloatSafe reports two float hazards in the model packages:
+// equality/inequality comparisons of floating-point values (use the
+// tolerance helpers linalg.EqTol / linalg.NearZero), and divisions
+// whose denominator is a variable with no dominating guard — no
+// comparison of the denominator and no math.IsNaN/IsInf or
+// NearZero/EqTol test on any path leading unconditionally to the
+// division.
+var FloatSafe = &Analyzer{
+	Name: "floatsafe",
+	Doc: "in model packages (markov, linalg, stats, queueing), forbid float ==/!= " +
+		"comparisons and flag float divisions whose denominator has no dominating " +
+		"zero/NaN guard; both silently corrupt the probabilities and normalized " +
+		"delays the paper reports",
+	Run: runFloatSafe,
+}
+
+func runFloatSafe(p *Pass) error {
+	if !floatSafePackages[p.Path] {
+		return nil
+	}
+	for _, f := range p.Files {
+		for _, fn := range functionsIn(f) {
+			checkFloatSafeFunc(p, fn)
+		}
+	}
+	return nil
+}
+
+// division is one float division whose denominator needs a guard.
+type division struct {
+	expr *ast.BinaryExpr
+	den  ast.Expr // unwrapped denominator
+	key  string
+}
+
+func checkFloatSafeFunc(p *Pass, fn funcBody) {
+	var divs []division
+	inspectNoFuncLit(fn.body, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch be.Op {
+		case token.EQL, token.NEQ:
+			if isFloat(p.Info.TypeOf(be.X)) || isFloat(p.Info.TypeOf(be.Y)) {
+				p.Reportf(be.Pos(),
+					"float %s comparison: exact floating-point equality is a NaN/rounding hazard; use linalg.EqTol or linalg.NearZero",
+					be.Op)
+			}
+		case token.QUO:
+			if !isFloat(p.Info.TypeOf(be)) {
+				return true
+			}
+			if tv, ok := p.Info.Types[be.Y]; ok && tv.Value != nil {
+				return true // constant denominator: the compiler rejects zero
+			}
+			den := unwrapValue(p, be.Y)
+			key, ok := exprKey(p, den)
+			if !ok {
+				return true // composite denominator: out of scope
+			}
+			divs = append(divs, division{expr: be, den: den, key: key})
+		}
+		return true
+	})
+	if len(divs) == 0 {
+		return
+	}
+	g := buildCFG(p, fn.body)
+	dt := g.Dominators()
+	for _, d := range divs {
+		blk, idx := g.FindNode(d.expr.OpPos)
+		if blk == nil || !dt.Reachable(blk) {
+			continue
+		}
+		guarded := shortCircuitGuarded(p, blk.Stmts[idx], d.expr, d.key)
+		for _, node := range guardScope(dt, blk, idx, false) {
+			if guarded {
+				break
+			}
+			if mentionsComparison(p, node, d.key) || mentionsCall(p, node, d.key, isFloatGuardCall(p)) {
+				guarded = true
+			}
+		}
+		if !guarded {
+			p.Reportf(d.expr.OpPos,
+				"float division by %s has no dominating zero/NaN guard: a zero or NaN denominator silently poisons downstream results",
+				renderExpr(d.den))
+		}
+	}
+}
+
+// shortCircuitGuarded recognizes a guard inside the division's own
+// statement: a && or || whose left operand tests the denominator and
+// whose right operand contains the division, e.g.
+// `den > 0 && num/den > 1`. Branch conditions are lowered into
+// separate CFG blocks and handled by dominance; this covers the same
+// idiom in return statements and plain expressions.
+func shortCircuitGuarded(p *Pass, stmt ast.Node, div *ast.BinaryExpr, key string) bool {
+	guarded := false
+	inspectNoFuncLit(stmt, func(n ast.Node) bool {
+		if guarded {
+			return false
+		}
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || (be.Op != token.LAND && be.Op != token.LOR) {
+			return true
+		}
+		if !coversNode(be.Y, div) {
+			return true
+		}
+		if mentionsComparison(p, be.X, key) || mentionsCall(p, be.X, key, isFloatGuardCall(p)) {
+			guarded = true
+			return false
+		}
+		return true
+	})
+	return guarded
+}
+
+// coversNode reports whether target lies within root's source range.
+func coversNode(root, target ast.Node) bool {
+	return root.Pos() <= target.Pos() && target.End() <= root.End()
+}
+
+// unwrapValue strips parens and type conversions.
+func unwrapValue(p *Pass, e ast.Expr) ast.Expr {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.CallExpr:
+			if len(x.Args) == 1 && isConversion(p, x) {
+				e = x.Args[0]
+				continue
+			}
+			return e
+		default:
+			return e
+		}
+	}
+}
+
+// isFloatGuardCall accepts the calls that count as a denominator
+// guard: math.IsNaN / math.IsInf, and the repo's tolerance helpers
+// NearZero / EqTol wherever they are defined.
+func isFloatGuardCall(p *Pass) func(*ast.CallExpr) bool {
+	return func(call *ast.CallExpr) bool {
+		switch calleeName(call) {
+		case "NearZero", "EqTol":
+			return true
+		case "IsNaN", "IsInf":
+			return isPkgCall(p, call, "math", calleeName(call))
+		}
+		return false
+	}
+}
+
+// renderExpr prints a compact source form of the simple expressions
+// exprKey accepts.
+func renderExpr(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return renderExpr(x.X) + "." + x.Sel.Name
+	case *ast.StarExpr:
+		return "*" + renderExpr(x.X)
+	case *ast.ParenExpr:
+		return renderExpr(x.X)
+	}
+	return "expression"
+}

@@ -1,0 +1,237 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"rsin/internal/lint/cfg"
+)
+
+// funcBody is one function-shaped body in a file: a declaration or a
+// literal. The dataflow analyzers build one graph per funcBody and
+// never descend from one into another.
+type funcBody struct {
+	node ast.Node // *ast.FuncDecl or *ast.FuncLit
+	body *ast.BlockStmt
+}
+
+// functionsIn lists every function declaration and function literal in
+// f that has a body.
+func functionsIn(f *ast.File) []funcBody {
+	var out []funcBody
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body != nil {
+				out = append(out, funcBody{node: fn, body: fn.Body})
+			}
+		case *ast.FuncLit:
+			out = append(out, funcBody{node: fn, body: fn.Body})
+		}
+		return true
+	})
+	return out
+}
+
+// noReturn recognizes the calls that never return control to the
+// caller, so the CFG can treat them like returns: os.Exit, the
+// log.Fatal family, and runtime.Goexit. (The builtin panic is handled
+// inside package cfg.)
+func noReturn(p *Pass) func(*ast.CallExpr) bool {
+	return func(call *ast.CallExpr) bool {
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return false
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		pn, ok := p.Info.Uses[id].(*types.PkgName)
+		if !ok {
+			return false
+		}
+		switch pn.Imported().Path() {
+		case "os":
+			return sel.Sel.Name == "Exit"
+		case "log":
+			switch sel.Sel.Name {
+			case "Fatal", "Fatalf", "Fatalln", "Panic", "Panicf", "Panicln":
+				return true
+			}
+		case "runtime":
+			return sel.Sel.Name == "Goexit"
+		}
+		return false
+	}
+}
+
+// buildCFG constructs the control-flow graph of one function body with
+// the pass's no-return knowledge.
+func buildCFG(p *Pass, body *ast.BlockStmt) *cfg.Graph {
+	return cfg.New(body, cfg.Options{NoReturn: noReturn(p)})
+}
+
+// exprKey canonicalizes a value-denoting expression — an identifier, a
+// selector chain rooted at one, a dereference, or any of those under
+// parens/conversions — so two syntactic mentions of the same variable
+// or field path compare equal. It refuses expressions whose value can
+// change between mentions for other reasons (calls, index loads).
+func exprKey(p *Pass, e ast.Expr) (string, bool) {
+	switch x := e.(type) {
+	case *ast.ParenExpr:
+		return exprKey(p, x.X)
+	case *ast.Ident:
+		if v, ok := p.Info.ObjectOf(x).(*types.Var); ok {
+			return fmt.Sprintf("v%d", v.Pos()), true
+		}
+		return "", false
+	case *ast.SelectorExpr:
+		base, ok := exprKey(p, x.X)
+		if !ok {
+			return "", false
+		}
+		return base + "." + x.Sel.Name, true
+	case *ast.StarExpr:
+		base, ok := exprKey(p, x.X)
+		if !ok {
+			return "", false
+		}
+		return "*" + base, true
+	case *ast.CallExpr:
+		if len(x.Args) == 1 && isConversion(p, x) {
+			return exprKey(p, x.Args[0])
+		}
+	}
+	return "", false
+}
+
+// isConversion reports whether call is a type conversion.
+func isConversion(p *Pass, call *ast.CallExpr) bool {
+	tv, ok := p.Info.Types[call.Fun]
+	return ok && tv.IsType()
+}
+
+// inspectNoFuncLit walks n without descending into nested function
+// literals (other than n itself, when n is one). The synthetic
+// cfg.RangeHead node — which ast.Walk rejects — is unwrapped to the
+// parts it represents: the range expression and the key/value targets.
+func inspectNoFuncLit(n ast.Node, fn func(ast.Node) bool) {
+	if rh, ok := n.(*cfg.RangeHead); ok {
+		if !fn(rh) {
+			return
+		}
+		for _, e := range []ast.Expr{rh.Range.X, rh.Range.Key, rh.Range.Value} {
+			if e != nil {
+				inspectNoFuncLit(e, fn)
+			}
+		}
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok && m != n {
+			return false
+		}
+		return fn(m)
+	})
+}
+
+// guardScope collects the nodes that are guaranteed to have executed
+// before the statement at (blk, idx) runs: the statements of every
+// strictly dominating block plus the earlier statements of blk itself.
+// With includeSelf, the statement at idx is included too (for checks
+// that may wrap the interesting expression in place).
+func guardScope(dt *cfg.DomTree, blk *cfg.Block, idx int, includeSelf bool) []ast.Node {
+	var out []ast.Node
+	for d := dt.Idom(blk); d != nil; d = dt.Idom(d) {
+		out = append(out, d.Stmts...)
+	}
+	end := idx
+	if includeSelf {
+		end = idx + 1
+	}
+	if end > len(blk.Stmts) {
+		end = len(blk.Stmts)
+	}
+	out = append(out, blk.Stmts[:end]...)
+	return out
+}
+
+// comparisonOps are the operators that constitute a value guard.
+var comparisonOps = map[token.Token]bool{
+	token.EQL: true, token.NEQ: true,
+	token.LSS: true, token.LEQ: true,
+	token.GTR: true, token.GEQ: true,
+}
+
+// mentionsComparison reports whether node contains a comparison with
+// key on either side.
+func mentionsComparison(p *Pass, node ast.Node, key string) bool {
+	found := false
+	inspectNoFuncLit(node, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || !comparisonOps[be.Op] {
+			return true
+		}
+		for _, side := range []ast.Expr{be.X, be.Y} {
+			if k, ok := exprKey(p, side); ok && k == key {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// mentionsCall reports whether node contains a call accepted by okCall
+// that passes key as one of its arguments.
+func mentionsCall(p *Pass, node ast.Node, key string, okCall func(*ast.CallExpr) bool) bool {
+	found := false
+	inspectNoFuncLit(node, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !okCall(call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if k, ok := exprKey(p, arg); ok && k == key {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isFloat reports whether t's underlying type is a floating-point
+// basic type.
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// calleeName returns the bare name of a called function or method
+// ("NearZero", "IsNaN"), regardless of how it is qualified.
+func calleeName(call *ast.CallExpr) string {
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		return f.Sel.Name
+	}
+	return ""
+}
+
+// isPkgCall reports whether call invokes pkgPath.name.
+func isPkgCall(p *Pass, call *ast.CallExpr, pkgPath, name string) bool {
+	return isPkgFunc(p, call.Fun, pkgPath, name)
+}

@@ -118,8 +118,44 @@ func TestSeedFlowOutsideSweeps(t *testing.T) {
 	runTestdata(t, SeedFlow, "seedflow", "rsin/testdata/seedflow", true)
 }
 
-// TestRepoIsClean runs every analyzer over the whole module — the
-// same contract CI enforces through cmd/rsinlint.
+func TestFloatSafe(t *testing.T) {
+	runTestdata(t, FloatSafe, "floatsafe", "rsin/internal/markov", false)
+}
+
+// TestFloatSafeOutsideModels loads the same hazards under a path the
+// float-safety contract does not govern.
+func TestFloatSafeOutsideModels(t *testing.T) {
+	runTestdata(t, FloatSafe, "floatsafe", "rsin/testdata/floatsafe", true)
+}
+
+func TestErrFlow(t *testing.T) {
+	runTestdata(t, ErrFlow, "errflow", "rsin/testdata/errflow", false)
+}
+
+func TestSharedState(t *testing.T) {
+	runTestdata(t, SharedState, "sharedstate", "rsin/testdata/sharedstate", false)
+}
+
+// TestSharedStateInRunner loads the goroutine-heavy sources as the
+// runner package, whose worker pool is the sanctioned home for them.
+func TestSharedStateInRunner(t *testing.T) {
+	runTestdata(t, SharedState, "sharedstate", "rsin/internal/runner", true)
+}
+
+func TestProbRange(t *testing.T) {
+	runTestdata(t, ProbRange, "probrange", "rsin/cmd/probrange", false)
+}
+
+// TestProbRangeOutsideOutputs loads the printing sources as a model
+// package, outside the output layer the check governs.
+func TestProbRangeOutsideOutputs(t *testing.T) {
+	runTestdata(t, ProbRange, "probrange", "rsin/internal/markov", true)
+}
+
+// TestRepoIsClean runs every analyzer over the whole module and
+// applies the //lint:ignore suppressions — the same contract CI
+// enforces through cmd/rsinlint. Unused or malformed directives
+// surface here as "suppression" diagnostics.
 func TestRepoIsClean(t *testing.T) {
 	root, mod, err := FindModule(".")
 	if err != nil {
@@ -133,6 +169,7 @@ func TestRepoIsClean(t *testing.T) {
 	if len(paths) == 0 {
 		t.Fatal("no packages found under module root")
 	}
+	known := KnownAnalyzers(All())
 	for _, path := range paths {
 		pkg, err := l.Load(path)
 		if err != nil {
@@ -142,7 +179,8 @@ func TestRepoIsClean(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		for _, d := range diags {
+		kept, _ := ApplySuppressions(pkg, l.Fset, diags, known)
+		for _, d := range kept {
 			t.Errorf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
 		}
 	}

@@ -1,0 +1,235 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"rsin/internal/lint/dataflow"
+)
+
+// probFields are the struct fields documented as probabilities in the
+// model packages: utilizations, blocking probabilities, and the
+// all-processors-busy probability from the paper's tables. Anything
+// read from one of these is a value the paper constrains to [0,1].
+var probFields = map[string]bool{
+	"Utilization":      true,
+	"BusUtilization":   true,
+	"ResourceUtil":     true,
+	"PAllBusy":         true,
+	"RSINBlocked":      true,
+	"NoRerouteBlocked": true,
+	"AddressBlocked":   true,
+}
+
+// ProbRange reports documented-probability values that flow to an
+// output sink (the fmt print family) without a [0,1] range check on
+// the path. A model bug that pushes a blocking probability to 1.3
+// should fail loudly at the source, not be typeset into a results
+// table.
+var ProbRange = &Analyzer{
+	Name: "probrange",
+	Doc: "in cmd, examples, and experiments packages, flag documented-probability " +
+		"values (utilization and blocking-probability fields) printed without a " +
+		"dominating [0,1] range check; wrap them with invariant.MustProbability",
+	Run: runProbRange,
+}
+
+func runProbRange(p *Pass) error {
+	if !probRangeScope(p.Path) {
+		return nil
+	}
+	for _, f := range p.Files {
+		for _, fn := range functionsIn(f) {
+			checkProbRangeFunc(p, fn)
+		}
+	}
+	return nil
+}
+
+func probRangeScope(path string) bool {
+	return strings.HasPrefix(path, "rsin/cmd/") ||
+		strings.HasPrefix(path, "rsin/examples/") ||
+		strings.HasPrefix(path, "rsin/internal/experiments")
+}
+
+// taintedArg is one probability-carrying expression appearing in a
+// sink argument.
+type taintedArg struct {
+	expr ast.Expr
+	key  string
+	name string // source description for the message
+}
+
+func checkProbRangeFunc(p *Pass, fn funcBody) {
+	// Collect sink arguments first; the CFG and dataflow solutions are
+	// only built when a candidate exists.
+	type sink struct {
+		call *ast.CallExpr
+		args []ast.Expr
+	}
+	var sinks []sink
+	inspectNoFuncLit(fn.body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isFmtPrint(p, call) {
+			return true
+		}
+		sinks = append(sinks, sink{call: call, args: call.Args})
+		return true
+	})
+	if len(sinks) == 0 {
+		return
+	}
+
+	var g = buildCFG(p, fn.body)
+	dt := g.Dominators()
+	var df *dataflow.Info // built lazily: only ident args need use-def chains
+
+	for _, s := range sinks {
+		var tainted []taintedArg
+		for _, arg := range s.args {
+			inspectNoFuncLit(arg, func(n ast.Node) bool {
+				e, ok := n.(ast.Expr)
+				if !ok {
+					return true
+				}
+				if key, name, ok := probSelector(p, e); ok {
+					tainted = append(tainted, taintedArg{expr: e, key: key, name: name})
+					return false
+				}
+				if id, ok := e.(*ast.Ident); ok {
+					if df == nil {
+						df = dataflow.Analyze(fn.node, g, p.Info)
+					}
+					if name, ok := identFromProbField(p, df, id); ok {
+						key, kok := exprKey(p, id)
+						if kok {
+							tainted = append(tainted, taintedArg{expr: id, key: key, name: name})
+						}
+					}
+				}
+				return true
+			})
+		}
+		for _, t := range tainted {
+			blk, idx := g.FindNode(t.expr.Pos())
+			if blk == nil || !dt.Reachable(blk) {
+				continue
+			}
+			guarded := false
+			for _, node := range guardScope(dt, blk, idx, true) {
+				if mentionsComparison(p, node, t.key) || mentionsCall(p, node, t.key, isProbGuardCall) {
+					guarded = true
+					break
+				}
+			}
+			if !guarded {
+				p.Reportf(t.expr.Pos(),
+					"probability %s reaches output with no [0,1] range check on the path: wrap it with invariant.MustProbability or guard it before printing",
+					t.name)
+			}
+		}
+	}
+}
+
+// probSelector reports whether e reads a documented-probability field
+// of a model struct, returning its canonical key and a display name.
+func probSelector(p *Pass, e ast.Expr) (key, name string, ok bool) {
+	sel, isSel := e.(*ast.SelectorExpr)
+	if !isSel || !probFields[sel.Sel.Name] {
+		return "", "", false
+	}
+	if !isFloat(p.Info.TypeOf(sel)) {
+		return "", "", false
+	}
+	t := p.Info.TypeOf(sel.X)
+	if ptr, isPtr := t.(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed || named.Obj().Pkg() == nil {
+		return "", "", false
+	}
+	if !strings.HasPrefix(named.Obj().Pkg().Path(), "rsin") {
+		return "", "", false
+	}
+	key, ok = exprKey(p, e)
+	if !ok {
+		return "", "", false
+	}
+	return key, renderExpr(sel), true
+}
+
+// identFromProbField reports whether id's value can come from a
+// probability field: some reaching definition assigns it directly from
+// a probSelector (one-hop propagation — enough for the common
+// `u := m.Utilization; fmt.Println(u)` pattern).
+func identFromProbField(p *Pass, df *dataflow.Info, id *ast.Ident) (string, bool) {
+	if _, isVar := p.Info.ObjectOf(id).(*types.Var); !isVar {
+		return "", false
+	}
+	for _, d := range df.UseDefs(id) {
+		rhs := defRHS(p, d)
+		if rhs == nil {
+			continue
+		}
+		if _, name, ok := probSelector(p, unwrapValue(p, rhs)); ok {
+			return name, true
+		}
+	}
+	return "", false
+}
+
+// defRHS extracts the expression assigned to d's variable in its
+// defining statement, when there is a one-to-one RHS for it.
+func defRHS(p *Pass, d *dataflow.Def) ast.Expr {
+	switch node := d.Node.(type) {
+	case *ast.AssignStmt:
+		if len(node.Lhs) != len(node.Rhs) {
+			return nil
+		}
+		for i, lhs := range node.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok && p.Info.ObjectOf(id) == d.Var {
+				return node.Rhs[i]
+			}
+		}
+	case *ast.DeclStmt:
+		gd, ok := node.Decl.(*ast.GenDecl)
+		if !ok {
+			return nil
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok || len(vs.Values) != len(vs.Names) {
+				continue
+			}
+			for i, nm := range vs.Names {
+				if p.Info.ObjectOf(nm) == d.Var {
+					return vs.Values[i]
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// isFmtPrint reports whether call is one of fmt's printing functions.
+func isFmtPrint(p *Pass, call *ast.CallExpr) bool {
+	switch calleeName(call) {
+	case "Print", "Println", "Printf",
+		"Fprint", "Fprintln", "Fprintf",
+		"Sprint", "Sprintln", "Sprintf":
+		return isPkgCall(p, call, "fmt", calleeName(call))
+	}
+	return false
+}
+
+// isProbGuardCall accepts the invariant package's probability checks
+// by bare name, wherever they are defined.
+func isProbGuardCall(call *ast.CallExpr) bool {
+	switch calleeName(call) {
+	case "Probability", "MustProbability":
+		return true
+	}
+	return false
+}

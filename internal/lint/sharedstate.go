@@ -1,0 +1,346 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SharedState reports goroutine closures outside internal/runner that
+// capture mutable variables of the enclosing function without a
+// dominating mutex acquire inside the closure or a channel handoff.
+// The project's concurrency contract confines cross-goroutine mutation
+// to the runner's deterministic worker pool (complementing seedflow,
+// which confines seed derivation); ad-hoc goroutines sharing state
+// reintroduce scheduling-dependent results and data races.
+var SharedState = &Analyzer{
+	Name: "sharedstate",
+	Doc: "outside rsin/internal/runner, flag `go func(){...}` closures that capture " +
+		"mutable variables without a dominating mutex Lock or channel handoff; " +
+		"cross-goroutine mutation belongs in the runner's worker pool",
+	Run: runSharedState,
+}
+
+// runnerPackage hosts the one sanctioned worker pool.
+const runnerPackage = "rsin/internal/runner"
+
+func runSharedState(p *Pass) error {
+	if p.Path == runnerPackage {
+		return nil
+	}
+	for _, f := range p.Files {
+		for _, fn := range functionsIn(f) {
+			checkSharedStateFunc(p, fn)
+		}
+	}
+	return nil
+}
+
+// launch is one `go func(){...}` statement in the checked function,
+// with the innermost loop enclosing it (a goroutine launched from a
+// loop races against its own siblings).
+type launch struct {
+	goStmt *ast.GoStmt
+	lit    *ast.FuncLit
+	inLoop bool
+}
+
+func checkSharedStateFunc(p *Pass, fn funcBody) {
+	launches := findLaunches(fn)
+	if len(launches) == 0 {
+		return
+	}
+	for _, l := range launches {
+		for _, cap := range capturedVars(p, fn, l.lit) {
+			v := cap.v
+			if isSyncType(v.Type()) || isChan(v.Type()) {
+				continue
+			}
+			cw, cr := accesses(p, l.lit.Body, v)
+			aw, ar := outsideAccesses(p, fn, l, v)
+			race := (cw && (ar || aw || l.inLoop)) || (cr && aw)
+			if !race {
+				continue
+			}
+			if mutexProtected(p, l.lit, v) {
+				continue
+			}
+			what := "written inside the goroutine"
+			if !cw {
+				what = "written concurrently by the enclosing function"
+			}
+			p.Reportf(cap.id.Pos(),
+				"goroutine closure captures %s, %s, with no dominating mutex acquire or channel handoff: move the work into %s or synchronize the access",
+				v.Name(), what, runnerPackage)
+		}
+	}
+}
+
+// findLaunches collects the go statements with literal closures
+// launched directly by fn (not by functions nested inside it).
+func findLaunches(fn funcBody) []launch {
+	var launches []launch
+	loopDepth := 0
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return x == fn.node // don't cross into nested functions
+		case *ast.ForStmt:
+			loopDepth++
+			ast.Inspect(x.Body, walk)
+			loopDepth--
+			return false
+		case *ast.RangeStmt:
+			loopDepth++
+			ast.Inspect(x.Body, walk)
+			loopDepth--
+			return false
+		case *ast.GoStmt:
+			if lit, ok := x.Call.Fun.(*ast.FuncLit); ok {
+				launches = append(launches, launch{goStmt: x, lit: lit, inLoop: loopDepth > 0})
+			}
+			// Call arguments are evaluated in the launching goroutine;
+			// only the closure body runs concurrently.
+			return false
+		}
+		return true
+	}
+	ast.Inspect(fn.body, walk)
+	return launches
+}
+
+// capturedVar is a variable of the enclosing function referenced
+// inside the closure, with its first mention.
+type capturedVar struct {
+	v  *types.Var
+	id *ast.Ident
+}
+
+func capturedVars(p *Pass, fn funcBody, lit *ast.FuncLit) []capturedVar {
+	seen := map[*types.Var]bool{}
+	var out []capturedVar
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := p.Info.ObjectOf(id).(*types.Var)
+		if !ok || v.IsField() || seen[v] {
+			return true
+		}
+		// Captured: declared inside the enclosing function but outside
+		// the literal (package-level state is out of scope here).
+		if v.Pos() < fn.node.Pos() || v.Pos() >= fn.node.End() {
+			return true
+		}
+		if v.Pos() >= lit.Pos() && v.Pos() < lit.End() {
+			return true // the closure's own local or parameter
+		}
+		seen[v] = true
+		out = append(out, capturedVar{v: v, id: id})
+		return true
+	})
+	return out
+}
+
+// accesses classifies how v is accessed within root, descending into
+// nested literals (anything inside the goroutine runs concurrently).
+// A write is v rooting an assignment or inc/dec target or sitting
+// under a unary & (escaped addresses may be stored through); every
+// other mention is a read.
+func accesses(p *Pass, root ast.Node, v *types.Var) (writes, reads bool) {
+	writeIdents := map[*ast.Ident]bool{}
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				if id := rootIdent(lhs); id != nil {
+					writeIdents[id] = true
+				}
+			}
+		case *ast.IncDecStmt:
+			if id := rootIdent(s.X); id != nil {
+				writeIdents[id] = true
+			}
+		case *ast.UnaryExpr:
+			if s.Op == token.AND {
+				if id := rootIdent(s.X); id != nil {
+					writeIdents[id] = true
+				}
+			}
+		}
+		return true
+	})
+	ast.Inspect(root, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || p.Info.ObjectOf(id) != v {
+			return true
+		}
+		if writeIdents[id] {
+			writes = true
+		} else {
+			reads = true
+		}
+		return true
+	})
+	return writes, reads
+}
+
+// outsideAccesses classifies accesses to v that can run concurrently
+// with the launched goroutine: code of the enclosing function
+// positioned after the go statement (after the enclosing loop's start,
+// when launched from a loop — the next iteration is concurrent), plus
+// mentions inside any other function literal regardless of position,
+// since a sibling closure's execution time is unknown.
+func outsideAccesses(p *Pass, fn funcBody, l launch, v *types.Var) (writes, reads bool) {
+	after := l.goStmt.End()
+	if l.inLoop {
+		after = token.NoPos // the whole body re-executes concurrently
+	}
+	w, r := false, false
+	ast.Inspect(fn.body, func(n ast.Node) bool {
+		lit, ok := n.(*ast.FuncLit)
+		if !ok || lit == l.lit {
+			return lit != l.lit // skip the launched closure itself
+		}
+		lw, lr := accesses(p, lit.Body, v)
+		w, r = w || lw, r || lr
+		return false
+	})
+	// Straight-line mentions after the launch point. Nested literals
+	// were handled above, so exclude them here.
+	inspectNoFuncLit(fn.body, func(n ast.Node) bool {
+		if n == nil || n.Pos() < after {
+			return true
+		}
+		if l.lit.Pos() <= n.Pos() && n.Pos() < l.lit.End() {
+			return false // inside the launched closure
+		}
+		lw, lr := accessesShallow(p, n, v)
+		w, r = w || lw, r || lr
+		return true
+	})
+	return w, r
+}
+
+// accessesShallow classifies a single node's direct mention of v
+// (write when it is an assignment/inc-dec statement targeting v). A
+// := at v's own definition site does not count as a write: each
+// execution binds a fresh instance (the `x := x` loop idiom), so it
+// cannot race with a goroutine that captured an earlier instance.
+func accessesShallow(p *Pass, n ast.Node, v *types.Var) (writes, reads bool) {
+	switch s := n.(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range s.Lhs {
+			if id := rootIdent(lhs); id != nil && p.Info.ObjectOf(id) == v {
+				if s.Tok == token.DEFINE && p.Info.Defs[id] == v {
+					continue
+				}
+				return true, false
+			}
+		}
+	case *ast.IncDecStmt:
+		if id := rootIdent(s.X); id != nil && p.Info.ObjectOf(id) == v {
+			return true, false
+		}
+	case *ast.Ident:
+		if p.Info.ObjectOf(s) == v {
+			return false, true
+		}
+	}
+	return false, false
+}
+
+// isSyncType reports whether t (or its pointee) is itself a
+// synchronization primitive from sync or sync/atomic — capturing those
+// is the point of having them.
+func isSyncType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return false
+	}
+	path := n.Obj().Pkg().Path()
+	return path == "sync" || path == "sync/atomic"
+}
+
+func isChan(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+// rootIdent unwraps an assignment target to the identifier it stores
+// through: x, x[i], x.f, *x, (x) all root at x.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// mutexProtected reports whether every mention of v inside the closure
+// is dominated by a sync mutex Lock/RLock call in the closure's own
+// control-flow graph.
+func mutexProtected(p *Pass, lit *ast.FuncLit, v *types.Var) bool {
+	g := buildCFG(p, lit.Body)
+	dt := g.Dominators()
+	isLock := func(call *ast.CallExpr) bool {
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return false
+		}
+		if sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock" {
+			return false
+		}
+		return isSyncType(p.Info.TypeOf(sel.X))
+	}
+	protected := true
+	inspectNoFuncLit(lit.Body, func(n ast.Node) bool {
+		if !protected {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || p.Info.ObjectOf(id) != v {
+			return true
+		}
+		blk, idx := g.FindNode(id.Pos())
+		if blk == nil {
+			protected = false
+			return false
+		}
+		locked := false
+		for _, node := range guardScope(dt, blk, idx, false) {
+			found := false
+			inspectNoFuncLit(node, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok && isLock(call) {
+					found = true
+				}
+				return !found
+			})
+			if found {
+				locked = true
+				break
+			}
+		}
+		if !locked {
+			protected = false
+		}
+		return protected
+	})
+	return protected
+}

@@ -1,0 +1,137 @@
+package lint
+
+import (
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// SuppressAnalyzer is the diagnostic name under which problems with
+// suppression directives themselves (malformed or unused) are
+// reported. It is reserved: directives cannot suppress it.
+const SuppressAnalyzer = "suppression"
+
+// directive is one parsed //lint:ignore comment.
+type directive struct {
+	pos       token.Position
+	analyzers []string
+	reason    string
+	used      bool
+}
+
+// ApplySuppressions filters diags through the //lint:ignore directives
+// of pkg's files and returns the diagnostics that survive plus the
+// number suppressed.
+//
+// Directive syntax, checked analyzer names against known:
+//
+//	//lint:ignore check1[,check2] reason for suppressing
+//
+// A directive suppresses matching diagnostics reported on its own line
+// (trailing comment) or on the line immediately below (comment on its
+// own line). A missing reason, an unknown analyzer name, and a
+// directive that suppressed nothing are themselves reported as
+// SuppressAnalyzer diagnostics — stale suppressions must not outlive
+// the finding they justified.
+func ApplySuppressions(pkg *Package, fset *token.FileSet, diags []Diagnostic, known map[string]bool) (kept []Diagnostic, suppressed int) {
+	var dirs []*directive
+	var problems []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				rest, ok := strings.CutPrefix(strings.TrimSpace(text), "lint:ignore")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					problems = append(problems, Diagnostic{
+						Pos:      pos,
+						Analyzer: SuppressAnalyzer,
+						Message:  "malformed directive: want //lint:ignore <analyzer>[,<analyzer>] <reason>",
+					})
+					continue
+				}
+				names := strings.Split(fields[0], ",")
+				bad := false
+				for _, n := range names {
+					if !known[n] || n == SuppressAnalyzer {
+						problems = append(problems, Diagnostic{
+							Pos:      pos,
+							Analyzer: SuppressAnalyzer,
+							Message:  "directive names unknown analyzer " + n,
+						})
+						bad = true
+					}
+				}
+				if bad {
+					continue
+				}
+				dirs = append(dirs, &directive{
+					pos:       pos,
+					analyzers: names,
+					reason:    strings.Join(fields[1:], " "),
+				})
+			}
+		}
+	}
+	for _, d := range diags {
+		if dir := matching(dirs, d); dir != nil {
+			dir.used = true
+			suppressed++
+			continue
+		}
+		kept = append(kept, d)
+	}
+	for _, dir := range dirs {
+		if !dir.used {
+			problems = append(problems, Diagnostic{
+				Pos:      dir.pos,
+				Analyzer: SuppressAnalyzer,
+				Message: "unused suppression directive for " + strings.Join(dir.analyzers, ",") +
+					": the finding it justified is gone, remove the directive",
+			})
+		}
+	}
+	kept = append(kept, problems...)
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return kept, suppressed
+}
+
+func matching(dirs []*directive, d Diagnostic) *directive {
+	for _, dir := range dirs {
+		if dir.pos.Filename != d.Pos.Filename {
+			continue
+		}
+		if d.Pos.Line != dir.pos.Line && d.Pos.Line != dir.pos.Line+1 {
+			continue
+		}
+		for _, n := range dir.analyzers {
+			if n == d.Analyzer {
+				return dir
+			}
+		}
+	}
+	return nil
+}
+
+// KnownAnalyzers builds the name set ApplySuppressions validates
+// directives against.
+func KnownAnalyzers(analyzers []*Analyzer) map[string]bool {
+	m := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		m[a.Name] = true
+	}
+	return m
+}

@@ -1,0 +1,181 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parsePkg parses src with comments and wraps it in a Package the way
+// ApplySuppressions sees one.
+func parsePkg(t *testing.T, src string) (*Package, *token.FileSet) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "s.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return &Package{Path: "p", Files: []*ast.File{file}}, fset
+}
+
+func diag(file string, line int, analyzer, msg string) Diagnostic {
+	return Diagnostic{
+		Pos:      token.Position{Filename: file, Line: line, Column: 1},
+		Analyzer: analyzer,
+		Message:  msg,
+	}
+}
+
+func TestSuppressSameLine(t *testing.T) {
+	src := `package p
+
+func f() {
+	_ = 0 //lint:ignore floatsafe denominator proven positive above
+}
+`
+	pkg, fset := parsePkg(t, src)
+	diags := []Diagnostic{diag("s.go", 4, "floatsafe", "float division")}
+	kept, suppressed := ApplySuppressions(pkg, fset, diags, map[string]bool{"floatsafe": true})
+	if suppressed != 1 || len(kept) != 0 {
+		t.Fatalf("same-line directive: kept=%v suppressed=%d, want 0 kept / 1 suppressed", kept, suppressed)
+	}
+}
+
+func TestSuppressLineAbove(t *testing.T) {
+	src := `package p
+
+func f() {
+	//lint:ignore errflow the error is logged by the callee
+	_ = 0
+}
+`
+	pkg, fset := parsePkg(t, src)
+	diags := []Diagnostic{diag("s.go", 5, "errflow", "error never read")}
+	kept, suppressed := ApplySuppressions(pkg, fset, diags, map[string]bool{"errflow": true})
+	if suppressed != 1 || len(kept) != 0 {
+		t.Fatalf("own-line directive: kept=%v suppressed=%d, want 0 kept / 1 suppressed", kept, suppressed)
+	}
+}
+
+func TestSuppressWrongLineDoesNotMatch(t *testing.T) {
+	src := `package p
+
+//lint:ignore floatsafe too far from the finding
+
+func f() {
+	_ = 0
+}
+`
+	pkg, fset := parsePkg(t, src)
+	diags := []Diagnostic{diag("s.go", 6, "floatsafe", "float division")}
+	kept, _ := ApplySuppressions(pkg, fset, diags, map[string]bool{"floatsafe": true})
+	// The finding survives AND the directive is reported unused.
+	if len(kept) != 2 {
+		t.Fatalf("kept %d diagnostics, want 2 (finding + unused directive): %v", len(kept), kept)
+	}
+	if !hasAnalyzer(kept, "floatsafe") || !hasAnalyzer(kept, SuppressAnalyzer) {
+		t.Errorf("expected the original finding plus an unused-suppression report, got %v", kept)
+	}
+}
+
+func TestSuppressMultiAnalyzer(t *testing.T) {
+	src := `package p
+
+func f() {
+	_ = 0 //lint:ignore floatsafe,errflow shared justification
+}
+`
+	pkg, fset := parsePkg(t, src)
+	known := map[string]bool{"floatsafe": true, "errflow": true}
+	diags := []Diagnostic{
+		diag("s.go", 4, "floatsafe", "float division"),
+		diag("s.go", 4, "errflow", "error never read"),
+		diag("s.go", 4, "probrange", "probability unchecked"),
+	}
+	kept, suppressed := ApplySuppressions(pkg, fset, diags, known)
+	if suppressed != 2 {
+		t.Errorf("comma list should suppress both named analyzers, suppressed=%d", suppressed)
+	}
+	if len(kept) != 1 || kept[0].Analyzer != "probrange" {
+		t.Errorf("unlisted analyzer must survive, kept=%v", kept)
+	}
+}
+
+func TestSuppressUnused(t *testing.T) {
+	src := `package p
+
+func f() {
+	_ = 0 //lint:ignore floatsafe stale justification
+}
+`
+	pkg, fset := parsePkg(t, src)
+	kept, suppressed := ApplySuppressions(pkg, fset, nil, map[string]bool{"floatsafe": true})
+	if suppressed != 0 {
+		t.Errorf("nothing to suppress, suppressed=%d", suppressed)
+	}
+	if len(kept) != 1 || kept[0].Analyzer != SuppressAnalyzer {
+		t.Fatalf("unused directive must be reported, kept=%v", kept)
+	}
+	if !strings.Contains(kept[0].Message, "unused suppression") {
+		t.Errorf("message should say the directive is unused: %q", kept[0].Message)
+	}
+}
+
+func TestSuppressMalformed(t *testing.T) {
+	src := `package p
+
+func f() {
+	_ = 0 //lint:ignore floatsafe
+}
+`
+	pkg, fset := parsePkg(t, src)
+	kept, _ := ApplySuppressions(pkg, fset, nil, map[string]bool{"floatsafe": true})
+	if len(kept) != 1 || kept[0].Analyzer != SuppressAnalyzer {
+		t.Fatalf("directive without a reason must be reported malformed, kept=%v", kept)
+	}
+	if !strings.Contains(kept[0].Message, "malformed") {
+		t.Errorf("message should say malformed: %q", kept[0].Message)
+	}
+}
+
+func TestSuppressUnknownAnalyzer(t *testing.T) {
+	src := `package p
+
+func f() {
+	_ = 0 //lint:ignore nosuchcheck because reasons
+}
+`
+	pkg, fset := parsePkg(t, src)
+	kept, _ := ApplySuppressions(pkg, fset, nil, map[string]bool{"floatsafe": true})
+	if len(kept) != 1 || kept[0].Analyzer != SuppressAnalyzer {
+		t.Fatalf("unknown analyzer name must be reported, kept=%v", kept)
+	}
+	if !strings.Contains(kept[0].Message, "unknown analyzer nosuchcheck") {
+		t.Errorf("message should name the unknown analyzer: %q", kept[0].Message)
+	}
+}
+
+func TestSuppressCannotSilenceItself(t *testing.T) {
+	src := `package p
+
+func f() {
+	_ = 0 //lint:ignore suppression trying to silence the meta-check
+}
+`
+	pkg, fset := parsePkg(t, src)
+	kept, _ := ApplySuppressions(pkg, fset, nil, map[string]bool{"floatsafe": true, SuppressAnalyzer: true})
+	if len(kept) != 1 || kept[0].Analyzer != SuppressAnalyzer {
+		t.Fatalf("the suppression meta-analyzer is reserved, kept=%v", kept)
+	}
+}
+
+func hasAnalyzer(diags []Diagnostic, name string) bool {
+	for _, d := range diags {
+		if d.Analyzer == name {
+			return true
+		}
+	}
+	return false
+}

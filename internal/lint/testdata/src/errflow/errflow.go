@@ -1,0 +1,114 @@
+// Package errflow exercises the errflow analyzer: error values
+// assigned from calls must be read on every path. The clean functions
+// double as the analyzer's silent negatives.
+package errflow
+
+import "errors"
+
+func work() error            { return nil }
+func workVal() (int, error)  { return 0, nil }
+func consume(err error) bool { return err == nil }
+
+// BadDropped assigns an error, then an early return skips past the
+// only check.
+func BadDropped(n int) int {
+	err := work() // want "error assigned to err is never read on some path to return"
+	if n > 0 {
+		return n
+	}
+	if err != nil {
+		return -1
+	}
+	return 0
+}
+
+// BadOnePath checks the error on one branch only; the other branch
+// reaches the return unread.
+func BadOnePath(verbose bool) int {
+	_, err := workVal() // want "error assigned to err is never read on some path to return"
+	if verbose {
+		if err != nil {
+			return -1
+		}
+	}
+	return 0
+}
+
+// BadLoopOverwrite is the classic shadow bug: each iteration
+// overwrites the previous error, so only the last one is checked.
+func BadLoopOverwrite(n int) error {
+	var err error
+	for i := 0; i < n; i++ {
+		err = work() // want "error assigned to err is overwritten at line \d+ before being read"
+	}
+	return err
+}
+
+// BadOverwriteStraightLine drops the first error by immediate
+// reassignment.
+func BadOverwriteStraightLine() error {
+	err := work() // want "error assigned to err is overwritten at line \d+ before being read"
+	err = work()
+	return err
+}
+
+// GoodReturned threads the error straight to the caller.
+func GoodReturned() error {
+	err := work()
+	return err
+}
+
+// GoodChecked handles the error before moving on.
+func GoodChecked() int {
+	if err := work(); err != nil {
+		return -1
+	}
+	return 0
+}
+
+// GoodLoopChecked reads the error inside every iteration before the
+// next one overwrites it.
+func GoodLoopChecked(n int) error {
+	var err error
+	for i := 0; i < n; i++ {
+		err = work()
+		if err != nil {
+			return err
+		}
+	}
+	return err
+}
+
+// GoodConsumedByCall passes the error to another function; that is a
+// read.
+func GoodConsumedByCall() bool {
+	err := work()
+	return consume(err)
+}
+
+// GoodDeferredRead reads the error only in a deferred closure, which
+// runs on every exit path.
+func GoodDeferredRead() (n int) {
+	var err error
+	defer func() {
+		if err != nil {
+			n = -1
+		}
+	}()
+	err = work()
+	return 0
+}
+
+// GoodPlainCopy assigns from a value, not a call: resets and
+// threading are attributed to the producing definition instead.
+func GoodPlainCopy(prev error) error {
+	err := prev
+	_ = 0
+	return err
+}
+
+// GoodSentinel reads the assigned error through errors.Is.
+func GoodSentinel(target error) bool {
+	err := work()
+	return errors.Is(err, target)
+}

@@ -1,0 +1,88 @@
+// Package floatsafe exercises the floatsafe analyzer. It is loaded
+// under the virtual import path rsin/internal/markov (a model package,
+// in scope) and again under rsin/testdata/floatsafe, where the same
+// code is out of scope and must produce no diagnostics.
+package floatsafe
+
+import "math"
+
+// BadEquality compares floats exactly.
+func BadEquality(a, b float64) bool {
+	return a == b // want "float == comparison"
+}
+
+// BadInequality is the != form of the same hazard.
+func BadInequality(a, b float64) bool {
+	return a != b // want "float != comparison"
+}
+
+// BadDivision divides with no guard anywhere on the path.
+func BadDivision(num, den float64) float64 {
+	return num / den // want "float division by den has no dominating zero/NaN guard"
+}
+
+// BadDivisionBranch guards one branch but divides on the other.
+func BadDivisionBranch(num, den float64, fallback bool) float64 {
+	if fallback {
+		return 0
+	}
+	return num / den // want "float division by den has no dominating zero/NaN guard"
+}
+
+// BadFieldDivision divides by a struct field without a guard.
+type params struct{ Mu float64 }
+
+func BadFieldDivision(p params, x float64) float64 {
+	return x / p.Mu // want "float division by p.Mu has no dominating zero/NaN guard"
+}
+
+// GoodGuardedComparison divides after a dominating comparison guard.
+func GoodGuardedComparison(num, den float64) float64 {
+	if den <= 0 {
+		return 0
+	}
+	return num / den
+}
+
+// GoodShortCircuit divides inside a condition whose left operand
+// guards the denominator; the lowered CFG makes the guard dominate.
+func GoodShortCircuit(num, den float64) bool {
+	return den > 0 && num/den > 1
+}
+
+// GoodNaNGuard uses math.IsNaN as the dominating guard.
+func GoodNaNGuard(num, den float64) float64 {
+	if math.IsNaN(den) || den < 1e-300 {
+		return 0
+	}
+	return num / den
+}
+
+// NearZero stands in for the repo's linalg.NearZero helper; the
+// analyzer accepts it by bare name.
+func NearZero(x, tol float64) bool { return math.Abs(x) <= tol }
+
+// GoodNearZeroGuard divides behind the tolerance helper.
+func GoodNearZeroGuard(num, den float64) float64 {
+	if NearZero(den, 0) {
+		return 0
+	}
+	return num / den
+}
+
+// GoodConstantDenominator divides by a constant; the compiler already
+// rejects constant zero.
+func GoodConstantDenominator(x float64) float64 {
+	return x / 2
+}
+
+// GoodIntDivision is integer division — out of scope for floatsafe.
+func GoodIntDivision(a, b int) int {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// GoodIntEquality compares integers exactly — not a float hazard.
+func GoodIntEquality(a, b int) bool { return a == b }

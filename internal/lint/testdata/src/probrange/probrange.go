@@ -1,0 +1,79 @@
+// Package probrange exercises the probrange analyzer. It is loaded
+// under the virtual import path rsin/cmd/probrange (an output-layer
+// package, in scope) and again as rsin/internal/markov, where the
+// analyzer is out of scope and must stay silent.
+package probrange
+
+import "fmt"
+
+// result mirrors the model packages' metric structs: the fields below
+// are documented probabilities.
+type result struct {
+	Utilization float64
+	PAllBusy    float64
+	Delay       float64 // not a probability
+}
+
+func solve() result { return result{} }
+
+// MustProbability stands in for invariant.MustProbability; the
+// analyzer accepts the guard by bare name.
+func MustProbability(domain, name string, v float64) float64 {
+	if v < 0 || v > 1 {
+		panic(domain + "/" + name)
+	}
+	return v
+}
+
+// BadDirectPrint prints a probability field with no range check.
+func BadDirectPrint(r result) {
+	fmt.Printf("util=%g\n", r.Utilization) // want "probability r.Utilization reaches output with no \[0,1\] range check"
+}
+
+// BadSprint routes the field through Sprintf — still a sink.
+func BadSprint(r result) string {
+	return fmt.Sprintf("%g", r.PAllBusy) // want "probability r.PAllBusy reaches output with no \[0,1\] range check"
+}
+
+// BadOneHop copies the field into a local first; the use-def chain
+// carries the taint to the print.
+func BadOneHop() {
+	r := solve()
+	u := r.Utilization
+	fmt.Println(u) // want "probability r.Utilization reaches output with no \[0,1\] range check"
+}
+
+// GoodWrapped funnels the value through the probability assertion at
+// the print site.
+func GoodWrapped(r result) {
+	fmt.Printf("util=%g\n", MustProbability("markov", "utilization", r.Utilization))
+}
+
+// GoodGuarded range-checks the field on a dominating path.
+func GoodGuarded(r result) {
+	if r.Utilization < 0 || r.Utilization > 1 {
+		panic("bad utilization")
+	}
+	fmt.Printf("util=%g\n", r.Utilization)
+}
+
+// GoodOneHopGuarded guards the local copy before printing it; the
+// use-def chain taints u, and the comparison on u satisfies it.
+func GoodOneHopGuarded(r result) {
+	u := r.Utilization
+	if u > 1 {
+		return
+	}
+	fmt.Println(u)
+}
+
+// GoodNonProbability prints a field that is not a documented
+// probability — out of scope, a silent negative.
+func GoodNonProbability(r result) {
+	fmt.Printf("delay=%g\n", r.Delay)
+}
+
+// GoodNonSink hands the field to a non-print function.
+func GoodNonSink(r result) float64 {
+	return MustProbability("markov", "p", r.PAllBusy)
+}

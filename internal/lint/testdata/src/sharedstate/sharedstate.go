@@ -1,0 +1,117 @@
+// Package sharedstate exercises the sharedstate analyzer. It is
+// loaded under the virtual import path rsin/testdata/sharedstate (in
+// scope: everywhere outside the runner) and again as
+// rsin/internal/runner, where the worker pool itself is allowed to do
+// these things and the analyzer must stay silent.
+package sharedstate
+
+import "sync"
+
+func observe(float64) {}
+
+// BadSharedWrite launches a goroutine that writes a captured variable
+// the enclosing function later reads.
+func BadSharedWrite() float64 {
+	total := 0.0
+	done := make(chan struct{})
+	go func() {
+		total += 1 // want "goroutine closure captures total, written inside the goroutine"
+		close(done)
+	}()
+	<-done
+	return total
+}
+
+// BadLoopCapture launches one goroutine per iteration; the siblings
+// race on the captured accumulator.
+func BadLoopCapture(xs []float64) float64 {
+	sum := 0.0
+	var wg sync.WaitGroup
+	for _, x := range xs {
+		wg.Add(1)
+		x := x
+		go func() {
+			sum += x // want "goroutine closure captures sum, written inside the goroutine"
+			wg.Done()
+		}()
+	}
+	wg.Wait()
+	return sum
+}
+
+// BadConcurrentWrite has the enclosing function mutate what the
+// goroutine reads.
+func BadConcurrentWrite() {
+	v := 1.0
+	done := make(chan struct{})
+	go func() {
+		observe(v) // want "goroutine closure captures v, written concurrently by the enclosing function"
+		close(done)
+	}()
+	v = 2.0
+	<-done
+}
+
+// GoodChannelHandoff communicates the value instead of sharing it.
+func GoodChannelHandoff() float64 {
+	results := make(chan float64, 1)
+	go func() {
+		results <- 42
+	}()
+	return <-results
+}
+
+// GoodMutexProtected guards every closure access with a dominating
+// mutex acquire.
+func GoodMutexProtected() float64 {
+	var mu sync.Mutex
+	total := 0.0
+	done := make(chan struct{})
+	go func() {
+		mu.Lock()
+		total += 1
+		mu.Unlock()
+		close(done)
+	}()
+	<-done
+	mu.Lock()
+	defer mu.Unlock()
+	return total
+}
+
+// GoodReadOnly captures a value neither side mutates after launch.
+func GoodReadOnly(scale float64) {
+	factor := scale * 2
+	done := make(chan struct{})
+	go func() {
+		observe(factor)
+		close(done)
+	}()
+	<-done
+}
+
+// GoodWriteBeforeLaunch finishes all enclosing-function writes before
+// the goroutine starts; only the goroutine reads afterwards.
+func GoodWriteBeforeLaunch() {
+	v := 1.0
+	v = v + 1
+	done := make(chan struct{})
+	go func() {
+		observe(v)
+		close(done)
+	}()
+	<-done
+}
+
+// GoodArgumentPass evaluates the value in the launching goroutine and
+// passes it as a parameter — nothing mutable is captured.
+func GoodArgumentPass() {
+	v := 1.0
+	done := make(chan struct{})
+	go func(x float64) {
+		observe(x)
+		close(done)
+	}(v)
+	v = 2.0
+	<-done
+}

@@ -30,7 +30,7 @@ func SolveMatrixGeometric(p Params) (Result, error) {
 	if !p.Stable() {
 		return Result{}, ErrUnstable
 	}
-	if p.Lambda == 0 {
+	if linalg.NearZero(p.Lambda, 0) {
 		return emptyResult(p), nil
 	}
 	a0, a1, a2, b00, b01, b10 := blocks(p)

@@ -31,7 +31,7 @@ func SolveStages(p Params) (Result, error) {
 	if !p.Stable() {
 		return Result{}, ErrUnstable
 	}
-	if p.Lambda == 0 {
+	if linalg.NearZero(p.Lambda, 0) {
 		return emptyResult(p), nil
 	}
 	const relTol = 1e-10
@@ -71,7 +71,7 @@ func SolveStagesAt(p Params, q int) (Result, error) {
 	if !p.Stable() {
 		return Result{}, ErrUnstable
 	}
-	if p.Lambda == 0 {
+	if linalg.NearZero(p.Lambda, 0) {
 		return emptyResult(p), nil
 	}
 	return solveStagesAt(p, q)
@@ -85,6 +85,11 @@ func solveStagesAt(p Params, q int) (Result, error) {
 	d := p.R + 1
 	d0 := 2*p.R + 1
 	lam := p.TotalArrival()
+	if linalg.NearZero(lam, 0) {
+		// Callers handle Lambda == 0 via emptyResult before reaching the
+		// recursion, which divides stage blocks by lam.
+		return Result{}, fmt.Errorf("markov: stage recursion requires a positive arrival rate")
+	}
 
 	// m[l] maps the elementary vector x to stage l+1: π_{l+1} = x·m[l].
 	// m[q] = I (π_{q+1} = x), stage q+2 ≡ 0.

@@ -23,7 +23,7 @@ func SolveTruncated(p Params, maxLevels int) (Result, error) {
 	if !p.Stable() {
 		return Result{}, ErrUnstable
 	}
-	if p.Lambda == 0 {
+	if linalg.NearZero(p.Lambda, 0) {
 		return emptyResult(p), nil
 	}
 	if maxLevels > 0 {

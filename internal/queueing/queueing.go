@@ -9,6 +9,7 @@ package queueing
 
 import (
 	"errors"
+	"fmt"
 	"math"
 )
 
@@ -32,6 +33,9 @@ func MM1WaitingTime(lambda, mu float64) (float64, error) {
 
 // MM1ResponseTime returns the mean time in system for an M/M/1 queue.
 func MM1ResponseTime(lambda, mu float64) (float64, error) {
+	if mu <= 0 {
+		return 0, errors.New("queueing: service rate must be positive")
+	}
 	wq, err := MM1WaitingTime(lambda, mu)
 	if err != nil {
 		return 0, err
@@ -75,6 +79,9 @@ func MMcWaitingTime(lambda, mu float64, c int) (float64, error) {
 
 // MMcResponseTime returns the mean time in system for an M/M/c queue.
 func MMcResponseTime(lambda, mu float64, c int) (float64, error) {
+	if mu <= 0 {
+		return 0, errors.New("queueing: service rate must be positive")
+	}
 	wq, err := MMcWaitingTime(lambda, mu, c)
 	if err != nil {
 		return 0, err
@@ -98,6 +105,10 @@ func TrafficIntensity(p int, lambda, muN, muS float64, totalRes int) float64 {
 // per-processor arrival rate λ that produces traffic intensity rho.
 func LambdaForIntensity(rho float64, p int, muN, muS float64, totalRes int) float64 {
 	denom := float64(p) * (1/(float64(p)*muN) + 1/(float64(totalRes)*muS))
+	if denom <= 0 || math.IsNaN(denom) {
+		panic(fmt.Sprintf("queueing: non-positive intensity denominator %g (p=%d muN=%g muS=%g totalRes=%d)",
+			denom, p, muN, muS, totalRes))
+	}
 	return rho / denom
 }
 
@@ -115,8 +126,14 @@ func LittleL(lambda, w float64) float64 { return lambda * w }
 // (rate (R/k)·μs) is fully utilized by the partition's arrival stream
 // (p/k)·λ; the binding constraint is the smaller capacity.
 func SaturationIntensity(p, totalRes, k int, muN, muS float64) float64 {
+	if p <= 0 || totalRes <= 0 || k <= 0 {
+		panic(fmt.Sprintf("queueing: SaturationIntensity requires positive counts, got p=%d totalRes=%d k=%d", p, totalRes, k))
+	}
 	pPart := float64(p) / float64(k)
 	rPart := float64(totalRes) / float64(k)
+	if pPart <= 0 {
+		panic("queueing: empty partition") // unreachable: p, k > 0
+	}
 	// λ limits: bus: pPart·λ < μn ; resources: pPart·λ < rPart·μs.
 	lamBus := muN / pPart
 	lamRes := rPart * muS / pPart

@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"rsin/internal/linalg"
 )
 
 // ErrTimeBackwards is the sentinel wrapped by the panic TimeWeighted
@@ -82,7 +84,9 @@ func (w *Welford) Merge(o *Welford) {
 	}
 	n := w.n + o.n
 	delta := o.mean - w.mean
+	//lint:ignore floatsafe n = w.n + o.n with both counts positive on this path
 	w.mean += delta * float64(o.n) / float64(n)
+	//lint:ignore floatsafe n = w.n + o.n with both counts positive on this path
 	w.m2 += o.m2 + delta*delta*float64(w.n)*float64(o.n)/float64(n)
 	if o.min < w.min {
 		w.min = o.min
@@ -126,7 +130,7 @@ func (tw *TimeWeighted) Finish(t float64) float64 {
 
 // Mean returns the time-averaged value observed so far.
 func (tw *TimeWeighted) Mean() float64 {
-	if tw.duration == 0 {
+	if linalg.NearZero(tw.duration, 0) {
 		return 0
 	}
 	return tw.area / tw.duration
