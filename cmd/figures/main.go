@@ -20,9 +20,18 @@
 //	figures -fig 7 -format csv     # machine-readable series
 //	figures -fig 8 -workers 4      # cap the worker pool
 //	figures -fig all -progress     # live per-sweep progress on stderr
+//
+// Observability: all commentary (progress, timing) goes through one
+// serialized stderr sink, so status lines and timing reports never
+// interleave; figure tables stay alone on stdout. -trace writes a
+// wall-clock Chrome trace of the worker pool's job schedule (one
+// process per artifact, one thread per worker — open in Perfetto),
+// -metrics writes per-artifact runner-telemetry summaries as JSON, and
+// -cpuprofile/-memprofile write pprof profiles.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -32,6 +41,7 @@ import (
 	"rsin/internal/cost"
 	"rsin/internal/experiments"
 	"rsin/internal/invariant"
+	"rsin/internal/obs"
 	"rsin/internal/runner"
 	"rsin/internal/workload"
 )
@@ -46,10 +56,30 @@ func main() {
 		progress = flag.Bool("progress", false, "report live per-sweep progress on stderr")
 		timing   = flag.Bool("timing", true, "report per-artifact wall-clock timing on stderr")
 		check    = flag.Bool("check", false, "enable runtime model-invariant checks (see internal/invariant)")
+
+		traceOut   = flag.String("trace", "", "write a wall-clock Chrome trace_event JSON of the worker pool's job schedule to this file (open in Perfetto)")
+		metricsOut = flag.String("metrics", "", "write per-artifact runner telemetry (wall time, worker occupancy, job count) as JSON to this file")
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	)
 	flag.Parse()
 	if *check {
 		invariant.Enable(true)
+	}
+	sink := obs.NewSink(os.Stderr)
+	if *cpuProfile != "" {
+		stop, err := obs.StartCPUProfile(*cpuProfile)
+		if err != nil {
+			fatal(sink, err)
+		}
+		defer stop()
+	}
+	if *memProfile != "" {
+		defer func() {
+			if err := obs.WriteHeapProfile(*memProfile); err != nil {
+				sink.Logf("figures: %v", err)
+			}
+		}()
 	}
 
 	q := experiments.Full()
@@ -58,6 +88,7 @@ func main() {
 	}
 	q.Workers = *workers
 	q.Reps = *reps
+	collectTelemetry := *traceOut != "" || *metricsOut != "" || *timing
 	render := func(fig experiments.Figure) error {
 		if *format == "csv" {
 			return fig.RenderCSV(os.Stdout)
@@ -68,7 +99,7 @@ func main() {
 
 	run := func(name string) error {
 		if *progress {
-			q.Progress = runner.Printer(os.Stderr, "fig "+name)
+			q.Progress = runner.SinkProgress(sink, "fig "+name)
 		}
 		switch name {
 		case "4":
@@ -167,15 +198,104 @@ func main() {
 	if effWorkers <= 0 {
 		effWorkers = runtime.NumCPU()
 	}
+	type artifactRun struct {
+		name string
+		tel  *runner.Telemetry
+	}
+	var ran []artifactRun
 	for _, n := range names {
-		start := time.Now()
+		sw := obs.NewStopwatch()
+		var tel *runner.Telemetry
+		if collectTelemetry {
+			tel = runner.NewTelemetry()
+			ran = append(ran, artifactRun{name: n, tel: tel})
+		}
+		q.Telemetry = tel
 		if err := run(n); err != nil {
-			fmt.Fprintln(os.Stderr, "figures:", err)
-			os.Exit(1)
+			fatal(sink, err)
 		}
 		if *timing {
-			fmt.Fprintf(os.Stderr, "figures: %s regenerated in %s (workers=%d)\n",
-				n, time.Since(start).Round(time.Millisecond), effWorkers)
+			var s runner.Summary
+			if tel != nil {
+				s = tel.Summary()
+			}
+			if s.Jobs > 0 {
+				sink.Logf("figures: %s regenerated in %s (workers=%d, %d jobs, occupancy %.0f%%)",
+					n, sw.Elapsed().Round(time.Millisecond), effWorkers, s.Jobs, 100*s.Occupancy)
+			} else {
+				sink.Logf("figures: %s regenerated in %s (workers=%d)",
+					n, sw.Elapsed().Round(time.Millisecond), effWorkers)
+			}
 		}
 	}
+	sink.Flush()
+	if *traceOut != "" {
+		// One timeline: artifact i is trace process i, offset by its
+		// telemetry's epoch relative to the first.
+		var events []obs.TraceEvent
+		for i, ar := range ran {
+			offset := ar.tel.Epoch().Sub(ran[0].tel.Epoch())
+			events = append(events, ar.tel.TraceEvents(i, "fig "+ar.name, offset)...)
+		}
+		if err := writeJSONFile(*traceOut, func(f *os.File) error {
+			return obs.WriteTraceJSON(f, events)
+		}); err != nil {
+			fatal(sink, err)
+		}
+	}
+	if *metricsOut != "" {
+		type artifactSummary struct {
+			Figure    string  `json:"figure"`
+			WallMS    float64 `json:"wall_ms"`
+			BusyMS    float64 `json:"busy_ms"`
+			Jobs      int     `json:"jobs"`
+			Workers   int     `json:"workers"`
+			Occupancy float64 `json:"occupancy"`
+		}
+		doc := struct {
+			Schema    string            `json:"schema"`
+			Artifacts []artifactSummary `json:"artifacts"`
+		}{Schema: "rsin-runner-telemetry/v1"}
+		for _, ar := range ran {
+			s := ar.tel.Summary()
+			doc.Artifacts = append(doc.Artifacts, artifactSummary{
+				Figure:    ar.name,
+				WallMS:    float64(s.Wall) / float64(time.Millisecond),
+				BusyMS:    float64(s.Busy) / float64(time.Millisecond),
+				Jobs:      s.Jobs,
+				Workers:   s.Workers,
+				Occupancy: s.Occupancy,
+			})
+		}
+		if err := writeJSONFile(*metricsOut, func(f *os.File) error {
+			data, err := json.MarshalIndent(doc, "", "  ")
+			if err != nil {
+				return err
+			}
+			_, err = f.Write(append(data, '\n'))
+			return err
+		}); err != nil {
+			fatal(sink, err)
+		}
+	}
+}
+
+// fatal reports err on the sink (clearing any transient status line
+// first) and exits.
+func fatal(sink *obs.Sink, err error) {
+	sink.Logf("figures: %v", err)
+	os.Exit(1)
+}
+
+// writeJSONFile creates path and hands it to write, closing cleanly.
+func writeJSONFile(path string, write func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

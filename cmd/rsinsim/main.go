@@ -17,6 +17,13 @@
 // (runner.DeriveSeed), and the pooled estimate is reported alongside
 // the per-replication means. The output is bit-for-bit identical for
 // any -workers value.
+//
+// Observability (see internal/obs): -trace writes a Chrome trace_event
+// JSON of the simulated request lifecycle (openable in Perfetto or
+// chrome://tracing), -metrics writes per-replication metric snapshots
+// as JSON, and -cpuprofile/-memprofile write pprof profiles. Trace and
+// metrics files are keyed by simulated time only, so they are
+// byte-identical for any -workers value, exactly like stdout.
 package main
 
 import (
@@ -29,6 +36,7 @@ import (
 	"rsin/internal/config"
 	"rsin/internal/invariant"
 	"rsin/internal/markov"
+	"rsin/internal/obs"
 	"rsin/internal/queueing"
 	"rsin/internal/runner"
 	"rsin/internal/sim"
@@ -48,10 +56,29 @@ func main() {
 		workers  = flag.Int("workers", 0, "worker goroutines for replications (0 = all CPUs)")
 		analytic = flag.Bool("analytic", false, "use the exact Markov analysis (SBUS configurations only)")
 		check    = flag.Bool("check", false, "enable runtime model-invariant checks (see internal/invariant)")
+
+		traceOut   = flag.String("trace", "", "write a Chrome trace_event JSON of the simulated lifecycle to this file (open in Perfetto; byte-identical for any -workers value)")
+		metricsOut = flag.String("metrics", "", "write per-replication metrics snapshots (counters, time-weighted gauges, delay histograms) as JSON to this file")
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	)
 	flag.Parse()
 	if *check {
 		invariant.Enable(true)
+	}
+	if *cpuProfile != "" {
+		stop, err := obs.StartCPUProfile(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		defer stop()
+	}
+	if *memProfile != "" {
+		defer func() {
+			if err := obs.WriteHeapProfile(*memProfile); err != nil {
+				fmt.Fprintln(os.Stderr, "rsinsim:", err)
+			}
+		}()
 	}
 
 	cfg, err := config.Parse(*cfgStr)
@@ -92,7 +119,25 @@ func main() {
 	if *reps < 1 {
 		*reps = 1
 	}
-	start := time.Now()
+	sw := obs.NewStopwatch()
+	// Per-replication observers: each replication owns its probe, so
+	// parallel reps never share mutable state; the exporters below merge
+	// them in replication order, keeping the files byte-identical for
+	// any -workers value.
+	var traces []*obs.Trace
+	var regs []*obs.Registry
+	if *traceOut != "" {
+		traces = make([]*obs.Trace, *reps)
+		for r := range traces {
+			traces[r] = obs.NewTrace()
+		}
+	}
+	if *metricsOut != "" {
+		regs = make([]*obs.Registry, *reps)
+		for r := range regs {
+			regs[r] = obs.NewRegistry()
+		}
+	}
 	type repOut struct {
 		res sim.Result
 		err error
@@ -102,9 +147,19 @@ func main() {
 		if err != nil {
 			return repOut{err: err}
 		}
+		var probe obs.Probe
+		if traces != nil {
+			probe = traces[r]
+		}
+		if regs != nil {
+			rec := obs.NewRecorder(regs[r])
+			rec.PreparePorts(net.Ports())
+			probe = obs.Multi(probe, rec)
+		}
 		res, err := sim.Run(net, sim.Config{
 			Lambda: lam, MuN: muN, MuS: muS,
 			Seed: runner.DeriveSeed(*seed, 0, 2*r), Warmup: *warmup, Samples: *samples,
+			Probe: probe,
 		})
 		return repOut{res: res, err: err}
 	})
@@ -114,7 +169,21 @@ func main() {
 		}
 	}
 	res := outs[0].res
-	fmt.Printf("wall-clock              : %s\n", time.Since(start).Round(time.Millisecond))
+	if *traceOut != "" {
+		if err := writeTraceFile(*traceOut, traces); err != nil {
+			fatal(err)
+		}
+	}
+	if *metricsOut != "" {
+		snaps := make([]obs.Snapshot, *reps)
+		for r := range snaps {
+			snaps[r] = regs[r].Snapshot(outs[r].res.SimTime)
+		}
+		if err := writeMetricsFile(*metricsOut, snaps); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Printf("wall-clock              : %s\n", sw.Elapsed().Round(time.Millisecond))
 	if *reps > 1 {
 		fmt.Printf("replications            : %d\n", *reps)
 		var sum, hw2 float64
@@ -150,4 +219,32 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "rsinsim:", err)
 	os.Exit(1)
+}
+
+// writeTraceFile merges the per-replication traces (replication r is
+// process r) into one Chrome trace_event JSON file.
+func writeTraceFile(path string, traces []*obs.Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteTraces(f, traces...); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeMetricsFile writes the per-replication metrics snapshots, in
+// replication order, as one JSON document.
+func writeMetricsFile(path string, snaps []obs.Snapshot) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteSnapshots(f, snaps); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

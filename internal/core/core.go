@@ -80,6 +80,22 @@ type TelemetrySource interface {
 	Telemetry() Telemetry
 }
 
+// NamedCounter is one fine-grained telemetry counter exposed by a
+// network: a stable name (used as a metrics key, so it must be
+// deterministic across runs) and its value.
+type NamedCounter struct {
+	Name  string
+	Value int64
+}
+
+// DetailSource is implemented by networks that expose fine-grained
+// counters beyond the aggregate Telemetry struct — per-stage rejects,
+// per-port grants, scan effort. The returned slice must be ordered
+// deterministically (by construction, not by map iteration).
+type DetailSource interface {
+	DetailCounters() []NamedCounter
+}
+
 // Partitioned composes i independent sub-networks into one system, the
 // paper's p/i×j×k notation: processors are assigned to sub-networks in
 // contiguous blocks of j = p/i, and each sub-network owns its own output
@@ -188,5 +204,24 @@ func (p *Partitioned) Telemetry() Telemetry {
 	return t
 }
 
+// DetailCounters aggregates fine-grained counters across partitions,
+// prefixing each name with its partition index so per-partition load
+// imbalance stays visible.
+func (p *Partitioned) DetailCounters() []NamedCounter {
+	var out []NamedCounter
+	for i, s := range p.subs {
+		if ds, ok := s.(DetailSource); ok {
+			for _, c := range ds.DetailCounters() {
+				out = append(out, NamedCounter{
+					Name:  fmt.Sprintf("sub%02d.%s", i, c.Name),
+					Value: c.Value,
+				})
+			}
+		}
+	}
+	return out
+}
+
 var _ Network = (*Partitioned)(nil)
 var _ TelemetrySource = (*Partitioned)(nil)
+var _ DetailSource = (*Partitioned)(nil)

@@ -54,6 +54,9 @@ type Crossbar struct {
 	busBusy []bool
 	free    []int
 	tel     core.Telemetry
+
+	cellsSwept int64   // crossbar cells examined across all Acquires
+	portGrants []int64 // grants latched per output port
 }
 
 // New returns a crossbar connecting processors to ports output buses
@@ -75,6 +78,7 @@ func NewWithPolicy(processors, ports, perPort int, policy PortPolicy) *Crossbar 
 		policy:     policy,
 		busBusy:    make([]bool, ports),
 		free:       make([]int, ports),
+		portGrants: make([]int64, ports),
 	}
 	for i := range x.free {
 		x.free[i] = perPort
@@ -110,6 +114,14 @@ func (x *Crossbar) Acquire(pid int) (core.Grant, bool) {
 			break
 		}
 	}
+	// FirstFree stops at the first eligible port, having examined
+	// best+1 cells; every other outcome sweeps the full row. Counted
+	// here rather than per iteration to keep the scan loop tight.
+	if x.policy == FirstFree && best != -1 {
+		x.cellsSwept += int64(best) + 1
+	} else {
+		x.cellsSwept += int64(x.ports)
+	}
 	if best == -1 {
 		x.tel.Failures++
 		if anyFreeRes {
@@ -127,6 +139,7 @@ func (x *Crossbar) Acquire(pid int) (core.Grant, bool) {
 	x.busBusy[best] = true
 	x.free[best]--
 	x.tel.Grants++
+	x.portGrants[best]++
 	return core.Grant{Processor: pid, Port: best}, true
 }
 
@@ -163,6 +176,18 @@ func (x *Crossbar) Name() string {
 // Telemetry implements core.TelemetrySource.
 func (x *Crossbar) Telemetry() core.Telemetry { return x.tel }
 
+// DetailCounters implements core.DetailSource: the wavefront scan effort
+// (cells of the distributed array examined) and the per-port grant
+// distribution, which exposes the FirstFree policy's low-index bias.
+func (x *Crossbar) DetailCounters() []core.NamedCounter {
+	out := make([]core.NamedCounter, 0, 1+x.ports)
+	out = append(out, core.NamedCounter{Name: "xbar.cells_swept", Value: x.cellsSwept})
+	for j, g := range x.portGrants {
+		out = append(out, core.NamedCounter{Name: fmt.Sprintf("xbar.port_grants.%03d", j), Value: g})
+	}
+	return out
+}
+
 // FreePorts returns how many ports are currently eligible (idle bus and
 // ≥1 free resource).
 func (x *Crossbar) FreePorts() int {
@@ -177,3 +202,4 @@ func (x *Crossbar) FreePorts() int {
 
 var _ core.Network = (*Crossbar)(nil)
 var _ core.TelemetrySource = (*Crossbar)(nil)
+var _ core.DetailSource = (*Crossbar)(nil)

@@ -45,6 +45,11 @@ type Quality struct {
 	Reps     int                   // independent replications per point, pooled (0/1 = single run)
 	Workers  int                   // worker goroutines for sweeps (0 = runtime.NumCPU())
 	Progress func(done, total int) // optional per-sweep progress callback
+
+	// Telemetry, when non-nil, records each sweep job's wall-clock
+	// execution window and worker assignment (runner.Telemetry). Purely
+	// observational.
+	Telemetry *runner.Telemetry
 }
 
 // Quick is a fast preset for tests (noisier CIs).
@@ -63,7 +68,7 @@ func (q Quality) reps() int {
 
 // opts returns the runner options for this quality.
 func (q Quality) opts() runner.Options {
-	return runner.Options{Workers: q.Workers, Progress: q.Progress}
+	return runner.Options{Workers: q.Workers, Progress: q.Progress, Telemetry: q.Telemetry}
 }
 
 // Point is one (x, y) sample of a series; simulation-backed points

@@ -55,7 +55,8 @@ func SaturationProfile(cfgs []config.Config, ratio float64, q Quality) ([]float6
 	run := runner.Map(q.opts(), len(cfgs), func(i int) cell {
 		qi := q
 		qi.Seed = runner.DeriveSeed(q.Seed, i, 0)
-		qi.Progress = nil // the outer Map reports per-configuration
+		qi.Progress = nil  // the outer Map reports per-configuration
+		qi.Telemetry = nil // inner sweeps would double-count the outer jobs
 		rho, err := SaturationSearch(cfgs[i], ratio, qi)
 		return cell{rho: rho, err: err}
 	})

@@ -98,10 +98,24 @@ func TestNoClock(t *testing.T) {
 	runTestdata(t, NoClock, "noclock", "rsin/internal/sim", false)
 }
 
-// TestNoClockOutsideModel loads the same clock-reading sources as the
-// runner package, where wall-clock timing is legitimate.
-func TestNoClockOutsideModel(t *testing.T) {
+// TestNoClockInCmd: the CLIs are NOT exempt — they must time themselves
+// through obs.Stopwatch so all wall-clock reads live in the telemetry
+// layer.
+func TestNoClockInCmd(t *testing.T) {
+	runTestdata(t, NoClock, "noclock", "rsin/cmd/rsinsim", false)
+}
+
+// TestNoClockInRunner loads the same clock-reading sources as the
+// runner package, whose execution telemetry legitimately reads the
+// clock.
+func TestNoClockInRunner(t *testing.T) {
 	runTestdata(t, NoClock, "noclock", "rsin/internal/runner", true)
+}
+
+// TestNoClockInObs: the observability package's wall-clock half
+// (Stopwatch, Sink timing) is the other sanctioned home.
+func TestNoClockInObs(t *testing.T) {
+	runTestdata(t, NoClock, "noclock", "rsin/internal/obs", true)
 }
 
 func TestMapOrder(t *testing.T) {

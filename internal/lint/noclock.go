@@ -5,30 +5,29 @@ import (
 	"go/types"
 )
 
-// modelPackages are the packages whose results must be pure functions
-// of (configuration, seed): the analytic models, the event-driven
-// simulator, and the experiment sweeps built on them. Wall-clock reads
-// are legal elsewhere (internal/runner times progress reports, cmd/
-// binaries time their own runs).
-var modelPackages = map[string]bool{
-	"rsin/internal/markov":      true,
-	"rsin/internal/sim":         true,
-	"rsin/internal/bus":         true,
-	"rsin/internal/crossbar":    true,
-	"rsin/internal/omega":       true,
-	"rsin/internal/experiments": true,
+// clockExempt are the only packages allowed to read the wall clock: the
+// runner's execution telemetry and the observability layer's wall-clock
+// half (Stopwatch, Sink timing, pprof hooks). Every other package —
+// models, the event engine, experiments, and the cmd/ binaries — must
+// route elapsed-time reporting through those two, so that model results
+// and exported artifacts (figures, traces, metrics) can never depend on
+// when they ran. Test files are not loaded by the linter and may use
+// the clock freely.
+var clockExempt = map[string]bool{
+	"rsin/internal/runner": true,
+	"rsin/internal/obs":    true,
 }
 
-// NoClock reports uses of time.Now and time.Since inside model
-// packages. A model whose numbers depend on when it ran is not
-// reproducible; simulated time lives in event timestamps, not the
-// wall clock.
+// NoClock reports uses of time.Now and time.Since outside the exempt
+// telemetry packages. A model whose numbers depend on when it ran is
+// not reproducible; simulated time lives in event timestamps, and wall
+// time belongs to runner.Telemetry and obs.Stopwatch.
 var NoClock = &Analyzer{
 	Name: "noclock",
-	Doc: "forbid wall-clock reads (time.Now, time.Since) in model packages; " +
-		"model output must depend only on configuration and seed",
+	Doc: "forbid wall-clock reads (time.Now, time.Since) outside internal/runner " +
+		"and internal/obs; route elapsed-time reporting through the telemetry layer",
 	Run: func(p *Pass) error {
-		if !modelPackages[p.Path] {
+		if clockExempt[p.Path] {
 			return nil
 		}
 		for _, f := range p.Files {
@@ -47,7 +46,7 @@ var NoClock = &Analyzer{
 				}
 				if sel.Sel.Name == "Now" || sel.Sel.Name == "Since" {
 					p.Reportf(sel.Pos(),
-						"wall-clock time.%s in model package %s: model results must not depend on when they run",
+						"wall-clock time.%s in %s: only internal/runner and internal/obs may read the wall clock (use obs.Stopwatch or runner.Telemetry)",
 						sel.Sel.Name, p.Path)
 				}
 				return true

@@ -1,7 +1,8 @@
 // Package noclock exercises the noclock analyzer. It is loaded under
-// the virtual import path rsin/internal/sim (a model package, where
-// wall-clock reads are forbidden) and again under rsin/internal/runner
-// (where they are allowed).
+// several virtual import paths: rsin/internal/sim and rsin/cmd/rsinsim
+// (where wall-clock reads are forbidden) and rsin/internal/runner and
+// rsin/internal/obs (the exempt telemetry layer, where they are the
+// point).
 package noclock
 
 import "time"
@@ -9,8 +10,8 @@ import "time"
 // Stamp reads the wall clock twice; only Now and Since are flagged —
 // duration constants and arithmetic are simulated-time material.
 func Stamp() (int64, time.Duration) {
-	t0 := time.Now()     // want "wall-clock time\.Now in model package"
-	d := time.Since(t0)  // want "wall-clock time\.Since in model package"
+	t0 := time.Now()     // want "wall-clock time\.Now"
+	d := time.Since(t0)  // want "wall-clock time\.Since"
 	d += 2 * time.Second // legal: a duration constant, not a clock read
 	return t0.UnixNano(), d
 }

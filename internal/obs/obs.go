@@ -1,0 +1,138 @@
+// Package obs is the deterministic observability layer of the rsin
+// stack. It has two strictly separated halves:
+//
+// Simulated-time instrumentation (this file, metrics.go, trace.go):
+// the Probe interface receives per-request lifecycle events from the
+// discrete-event engine, keyed exclusively by simulated time. The
+// recorders built on it — the metrics Registry and the Chrome
+// trace_event exporter — therefore inherit the engine's determinism
+// contract: their output is byte-identical for any worker count and
+// any scheduling order, because nothing in them ever consults the wall
+// clock.
+//
+// Wall-clock telemetry (sink.go, walltime.go, profile.go): the
+// serialized stderr Sink, the Stopwatch, and the pprof helpers used by
+// the runner and the CLIs to report how long real execution took.
+// These are the only sanctioned homes for wall-clock reads outside
+// internal/runner; the noclock analyzer enforces that split.
+//
+// A nil Probe is the fast path: instrumentation sites in the engine
+// guard every emission with a nil check, so an unobserved simulation
+// pays one predictable branch per event and nothing else.
+package obs
+
+import "fmt"
+
+// Kind discriminates lifecycle events.
+type Kind uint8
+
+const (
+	// KindArrival: a task arrived at a processor's queue.
+	KindArrival Kind = iota
+	// KindEnqueue: the arriving task could not start immediately and
+	// remains queued; Aux is the queue length after the arrival.
+	KindEnqueue
+	// KindGrant: the network allocated a resource; Port is the granted
+	// output port and Aux the in-network rejects the routing search
+	// suffered before succeeding (0 on a first-try grant, >0 when the
+	// Omega network rerouted).
+	KindGrant
+	// KindTransmitStart: the head-of-queue task began transmission;
+	// Dur is its queueing delay d (arrival → transmit start).
+	KindTransmitStart
+	// KindTransmitEnd: transmission finished and the network path was
+	// released; the resource keeps serving.
+	KindTransmitEnd
+	// KindRelease: service finished and the resource was released;
+	// Dur is the service span (transmit end → release).
+	KindRelease
+	// KindReject: a failed allocation attempt that traversed the
+	// network and was rejected back (Aux = rejects during the attempt).
+	// Pure status blocks — where the processor never entered the
+	// network — emit nothing.
+	KindReject
+	// KindReroute: reserved for networks that report mid-route path
+	// changes as distinct events (the engine folds reroutes into
+	// KindGrant's Aux today).
+	KindReroute
+
+	numKinds
+)
+
+// String returns the kind's wire name (used in trace and metric names).
+func (k Kind) String() string {
+	switch k {
+	case KindArrival:
+		return "arrival"
+	case KindEnqueue:
+		return "enqueue"
+	case KindGrant:
+		return "grant"
+	case KindTransmitStart:
+		return "transmit-start"
+	case KindTransmitEnd:
+		return "transmit-end"
+	case KindRelease:
+		return "release"
+	case KindReject:
+		return "reject"
+	case KindReroute:
+		return "reroute"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Event is one lifecycle occurrence, stamped with simulated time.
+// Fields beyond T/Kind/Pid are kind-specific; Port is -1 when no port
+// is involved.
+type Event struct {
+	T    float64 // simulated time
+	Kind Kind
+	Pid  int     // processor (or requester) index
+	Port int     // output port, -1 when not applicable
+	Aux  int64   // kind-specific count (queue length, rejects)
+	Dur  float64 // kind-specific span (queue wait, service time)
+}
+
+// Probe consumes lifecycle events. Implementations must not block and
+// must derive nothing from the wall clock; the engine calls them
+// synchronously from its event loop.
+type Probe interface {
+	Event(Event)
+}
+
+// Func adapts a plain function to the Probe interface.
+type Func func(Event)
+
+// Event implements Probe.
+func (f Func) Event(e Event) { f(e) }
+
+// Multi fans each event out to every non-nil probe, in argument order.
+// It returns nil when no usable probe remains, preserving the engine's
+// nil fast path.
+func Multi(probes ...Probe) Probe {
+	var kept multi
+	for _, p := range probes {
+		if p != nil {
+			kept = append(kept, p)
+		}
+	}
+	switch len(kept) {
+	case 0:
+		return nil
+	case 1:
+		return kept[0]
+	default:
+		return kept
+	}
+}
+
+type multi []Probe
+
+// Event implements Probe.
+func (m multi) Event(e Event) {
+	for _, p := range m {
+		p.Event(e)
+	}
+}

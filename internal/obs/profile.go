@@ -1,0 +1,43 @@
+// Profiling hooks: thin wrappers over runtime/pprof so the CLIs wire
+// -cpuprofile/-memprofile without touching pprof or os themselves.
+
+package obs
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartCPUProfile begins a CPU profile written to path and returns the
+// function that stops profiling and closes the file.
+func StartCPUProfile(path string) (stop func() error, err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: cpu profile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("obs: cpu profile: %w", err)
+	}
+	return func() error {
+		pprof.StopCPUProfile()
+		return f.Close()
+	}, nil
+}
+
+// WriteHeapProfile garbage-collects (for up-to-date accounting) and
+// writes the heap profile to path.
+func WriteHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs: heap profile: %w", err)
+	}
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return fmt.Errorf("obs: heap profile: %w", err)
+	}
+	return f.Close()
+}

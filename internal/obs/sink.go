@@ -1,0 +1,69 @@
+// The Sink serializes all human-facing progress and timing output onto
+// one stream (stderr by convention), fixing the interleaving where a
+// half-rewritten "\r"-style progress line and a timing report landed on
+// the same row. Results and figures stay on stdout; everything the
+// Sink writes is commentary.
+
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+)
+
+// Sink is a mutex-serialized line writer with one transient status
+// line. Statusf rewrites the status line in place; Logf erases any
+// pending status, emits a permanent line, and leaves the cursor on a
+// fresh row. Safe for concurrent use — runner workers and the main
+// goroutine share one Sink.
+type Sink struct {
+	mu        sync.Mutex
+	w         io.Writer
+	statusLen int // visible width of the pending transient line
+}
+
+// NewSink returns a sink writing to w.
+func NewSink(w io.Writer) *Sink { return &Sink{w: w} }
+
+// Statusf rewrites the transient status line (no trailing newline).
+// Shorter lines erase the residue of longer predecessors.
+func (s *Sink) Statusf(format string, args ...any) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	line := fmt.Sprintf(format, args...)
+	pad := s.statusLen - len(line)
+	if pad < 0 {
+		pad = 0
+	}
+	fmt.Fprintf(s.w, "\r%s%s", line, strings.Repeat(" ", pad))
+	if pad > 0 {
+		fmt.Fprintf(s.w, "\r%s", line)
+	}
+	s.statusLen = len(line)
+}
+
+// Logf writes one permanent line, first erasing any pending status
+// line so the two can never interleave on one row.
+func (s *Sink) Logf(format string, args ...any) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.clearLocked()
+	fmt.Fprintf(s.w, format, args...)
+	fmt.Fprintln(s.w)
+}
+
+// Flush erases any pending transient status line.
+func (s *Sink) Flush() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.clearLocked()
+}
+
+func (s *Sink) clearLocked() {
+	if s.statusLen > 0 {
+		fmt.Fprintf(s.w, "\r%s\r", strings.Repeat(" ", s.statusLen))
+		s.statusLen = 0
+	}
+}

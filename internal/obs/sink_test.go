@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSinkStatusThenLogNeverShareARow(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewSink(&buf)
+	s.Statusf("point 3/10 (30%%)")
+	s.Logf("sweep done in %s", "1.2s")
+	out := buf.String()
+	// The permanent line must start at column 0: the last carriage
+	// return before it must be followed only by spaces (the erase).
+	i := strings.LastIndex(out, "\r")
+	if i < 0 {
+		t.Fatalf("no status erase emitted: %q", out)
+	}
+	rest := out[i+1:]
+	if !strings.HasPrefix(rest, "sweep done in 1.2s\n") {
+		t.Fatalf("log line does not start on a clean row: %q", rest)
+	}
+	if !strings.Contains(out, "point 3/10 (30%)") {
+		t.Fatalf("status line missing: %q", out)
+	}
+}
+
+func TestSinkShorterStatusErasesLonger(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewSink(&buf)
+	s.Statusf("a long status line")
+	s.Statusf("short")
+	out := buf.String()
+	// After the second Statusf the visible row must be exactly "short":
+	// replay the carriage returns to compute the final visible text.
+	if got := visibleRow(out); got != "short" {
+		t.Fatalf("visible row = %q, want %q", got, "short")
+	}
+}
+
+func TestSinkFlushClearsStatus(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewSink(&buf)
+	s.Statusf("busy...")
+	s.Flush()
+	if got := visibleRow(buf.String()); strings.TrimSpace(got) != "" {
+		t.Fatalf("row not cleared after Flush: %q", got)
+	}
+}
+
+// visibleRow simulates a terminal's handling of \r on a single row and
+// returns what would remain visible.
+func visibleRow(out string) string {
+	row := []byte{}
+	col := 0
+	for i := 0; i < len(out); i++ {
+		switch c := out[i]; c {
+		case '\r':
+			col = 0
+		case '\n':
+			row = row[:0]
+			col = 0
+		default:
+			if col < len(row) {
+				row[col] = c
+			} else {
+				row = append(row, c)
+			}
+			col++
+		}
+	}
+	return strings.TrimRight(string(row), " ")
+}

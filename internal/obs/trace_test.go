@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// feedLifecycle replays a miniature two-task lifecycle into a probe.
+func feedLifecycle(p Probe) {
+	p.Event(Event{T: 0.5, Kind: KindArrival, Pid: 0, Port: -1})
+	p.Event(Event{T: 0.5, Kind: KindGrant, Pid: 0, Port: 2, Aux: 0})
+	p.Event(Event{T: 0.5, Kind: KindTransmitStart, Pid: 0, Port: 2, Dur: 0})
+	p.Event(Event{T: 1.25, Kind: KindArrival, Pid: 1, Port: -1})
+	p.Event(Event{T: 1.25, Kind: KindEnqueue, Pid: 1, Port: -1, Aux: 1})
+	p.Event(Event{T: 1.5, Kind: KindTransmitEnd, Pid: 0, Port: 2})
+	p.Event(Event{T: 1.5, Kind: KindGrant, Pid: 1, Port: 3, Aux: 2})
+	p.Event(Event{T: 1.5, Kind: KindTransmitStart, Pid: 1, Port: 3, Dur: 0.25})
+	p.Event(Event{T: 2, Kind: KindReject, Pid: 0, Port: -1, Aux: 1})
+	p.Event(Event{T: 2.5, Kind: KindTransmitEnd, Pid: 1, Port: 3})
+	p.Event(Event{T: 3, Kind: KindRelease, Pid: 0, Port: 2, Dur: 1.5})
+	p.Event(Event{T: 3.5, Kind: KindRelease, Pid: 1, Port: 3, Dur: 1})
+}
+
+func TestTraceIsValidJSONWithExpectedSlices(t *testing.T) {
+	tr := NewTrace()
+	feedLifecycle(tr)
+	var buf bytes.Buffer
+	if err := WriteTraces(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	count := map[string]int{}
+	for _, e := range doc.TraceEvents {
+		count[e.Name+"/"+e.Ph]++
+		if e.Ph == "X" && e.Dur < 0 {
+			t.Errorf("negative duration on %s: %g", e.Name, e.Dur)
+		}
+	}
+	for _, want := range []struct {
+		key string
+		n   int
+	}{
+		{"wait/X", 2}, {"tx/X", 2}, {"svc/X", 2},
+		{"reroute/I", 1}, {"reject/I", 1},
+		{"process_name/M", 1},
+	} {
+		if count[want.key] != want.n {
+			t.Errorf("%s events = %d, want %d\ncounts: %v", want.key, count[want.key], want.n, count)
+		}
+	}
+	// Service slices live on port tracks, offset above processor tracks.
+	named := false
+	for _, e := range doc.TraceEvents {
+		if e.Name == "svc" && e.Tid < portTidBase {
+			t.Errorf("svc slice on tid %d, want >= %d (port track)", e.Tid, portTidBase)
+		}
+		if e.Name == "thread_name" {
+			named = true
+		}
+	}
+	if !named {
+		t.Error("no thread_name metadata emitted")
+	}
+}
+
+func TestTraceBytesAreDeterministic(t *testing.T) {
+	render := func() []byte {
+		tr := NewTrace()
+		feedLifecycle(tr)
+		var buf bytes.Buffer
+		if err := WriteTraces(&buf, tr); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := render(), render()
+	if !bytes.Equal(a, b) {
+		t.Fatal("identical event streams produced different trace bytes")
+	}
+}
+
+func TestWriteTracesAssignsProcessPerRun(t *testing.T) {
+	t1, t2 := NewTrace(), NewTrace()
+	feedLifecycle(t1)
+	feedLifecycle(t2)
+	var buf bytes.Buffer
+	if err := WriteTraces(&buf, t1, t2); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if !strings.Contains(s, `"sim run 0"`) || !strings.Contains(s, `"sim run 1"`) {
+		t.Fatalf("missing per-run process names:\n%s", s)
+	}
+}
+
+func TestAppendJSONEscapes(t *testing.T) {
+	e := TraceEvent{Name: `a"b`, Ph: 'I', Args: []Arg{{"s", "x\ny"}, {"f", 1.5}, {"i", 7}}}
+	var m map[string]any
+	if err := json.Unmarshal(e.appendJSON(nil), &m); err != nil {
+		t.Fatalf("escaping broke JSON: %v", err)
+	}
+	if m["name"] != `a"b` {
+		t.Errorf("name round-trip: %q", m["name"])
+	}
+}

@@ -1,0 +1,19 @@
+// Wall-clock telemetry. This file (with the runner's telemetry) is the
+// sanctioned home for wall-clock reads: model code measures simulated
+// time only, and the noclock analyzer rejects time.Now anywhere else.
+
+package obs
+
+import "time"
+
+// Stopwatch measures elapsed wall-clock time for telemetry output
+// (never for anything that feeds a model result).
+type Stopwatch struct {
+	start time.Time
+}
+
+// NewStopwatch returns a running stopwatch.
+func NewStopwatch() Stopwatch { return Stopwatch{start: time.Now()} }
+
+// Elapsed returns the wall time since the stopwatch started.
+func (s Stopwatch) Elapsed() time.Duration { return time.Since(s.start) }

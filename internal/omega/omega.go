@@ -119,6 +119,10 @@ type Omega struct {
 	snap [][]bool
 
 	tel core.Telemetry
+	// Fine-grained telemetry (core.DetailSource): where in the pipeline
+	// rejects happen and how grants spread over the output ports.
+	rejectsByStage []int64
+	portGrants     []int64
 }
 
 // Option configures a network.
@@ -160,6 +164,9 @@ func New(n, perPort int, opts ...Option) *Omega {
 		portBusy: make([]bool, n),
 		free:     make([]int, n),
 		outOcc:   make([][]bool, stages),
+
+		rejectsByStage: make([]int64, stages),
+		portGrants:     make([]int64, n),
 	}
 	for i := range o.free {
 		o.free[i] = perPort
@@ -304,6 +311,7 @@ func (o *Omega) Acquire(pid int) (core.Grant, bool) {
 	o.portBusy[port] = true
 	o.free[port]--
 	o.tel.Grants++
+	o.portGrants[port]++
 	o.verify()
 	return core.Grant{Processor: pid, Port: port, Path: pathGrant{wires: wires}}, true
 }
@@ -354,6 +362,7 @@ func (o *Omega) route(s, pos int, wires *[]int) (int, bool) {
 		o.outOcc[s][out] = false
 		o.tel.Rejects++
 		o.tel.BoxVisits++
+		o.rejectsByStage[s]++
 		if !o.reroute {
 			return 0, false
 		}
@@ -428,6 +437,7 @@ func (o *Omega) acquireStale(pid int) (core.Grant, bool) {
 	o.portBusy[port] = true
 	o.free[port]--
 	o.tel.Grants++
+	o.portGrants[port]++
 	o.verify()
 	return core.Grant{Processor: pid, Port: port, Path: pathGrant{wires: wires}}, true
 }
@@ -481,6 +491,7 @@ func (o *Omega) AcquireTag(pid, dst int) (core.Grant, bool) {
 	o.portBusy[port] = true
 	o.free[port]--
 	o.tel.Grants++
+	o.portGrants[port]++
 	o.verify()
 	return core.Grant{Processor: pid, Port: port, Path: pathGrant{wires: reverseCopy(wires)}}, true
 }
@@ -589,6 +600,20 @@ func (o *Omega) Name() string {
 // Telemetry implements core.TelemetrySource.
 func (o *Omega) Telemetry() core.Telemetry { return o.tel }
 
+// DetailCounters implements core.DetailSource: rejects broken down by
+// the stage whose box bounced the request (where in the pipeline dead
+// ends concentrate) and the per-port grant distribution.
+func (o *Omega) DetailCounters() []core.NamedCounter {
+	out := make([]core.NamedCounter, 0, o.n+o.size)
+	for s, r := range o.rejectsByStage {
+		out = append(out, core.NamedCounter{Name: fmt.Sprintf("omega.rejects.stage%02d", s), Value: r})
+	}
+	for j, g := range o.portGrants {
+		out = append(out, core.NamedCounter{Name: fmt.Sprintf("omega.port_grants.%03d", j), Value: g})
+	}
+	return out
+}
+
 // Stages returns the number of interchange-box stages (log2 N).
 func (o *Omega) Stages() int { return o.n }
 
@@ -636,6 +661,12 @@ func (o *Omega) Reset() {
 		}
 	}
 	o.tel = core.Telemetry{}
+	for i := range o.rejectsByStage {
+		o.rejectsByStage[i] = 0
+	}
+	for i := range o.portGrants {
+		o.portGrants[i] = 0
+	}
 }
 
 // SetResourceAvailability overrides the free-resource count of port j
@@ -657,3 +688,4 @@ func (o *Omega) FreeResources(j int) int { return o.free[j] }
 
 var _ core.Network = (*Omega)(nil)
 var _ core.TelemetrySource = (*Omega)(nil)
+var _ core.DetailSource = (*Omega)(nil)

@@ -9,17 +9,15 @@
 // order.
 //
 // The package deliberately knows nothing about simulations or figures;
-// it provides an indexed parallel map, the seed-derivation scheme, and
-// a small progress reporter. The experiment code composes these.
+// it provides an indexed parallel map, the seed-derivation scheme, a
+// progress reporter, and wall-clock execution telemetry (telemetry.go).
+// The experiment code composes these.
 package runner
 
 import (
-	"fmt"
-	"io"
 	"runtime"
 	"sync"
 	"sync/atomic"
-	"time"
 )
 
 // Options tune one parallel execution.
@@ -34,6 +32,12 @@ type Options struct {
 	// (never concurrent) but may arrive in any completion order; done
 	// is strictly increasing across calls.
 	Progress func(done, total int)
+
+	// Telemetry, when non-nil, records each job's wall-clock execution
+	// window and worker assignment. Purely observational: it never
+	// affects results, which stay bit-for-bit identical with or without
+	// it.
+	Telemetry *Telemetry
 }
 
 // workers resolves the effective worker count for n jobs.
@@ -67,9 +71,18 @@ func Map[T any](opt Options, n int, fn func(i int) T) []T {
 	}
 	out := make([]T, n)
 	w := opt.workers(n)
+	run := func(i, worker int) {
+		if tel := opt.Telemetry; tel != nil {
+			start := tel.now()
+			out[i] = fn(i)
+			tel.observe(i, worker, start, tel.now())
+			return
+		}
+		out[i] = fn(i)
+	}
 	if w == 1 {
 		for i := 0; i < n; i++ {
-			out[i] = fn(i)
+			run(i, 0)
 			if opt.Progress != nil {
 				opt.Progress(i+1, n)
 			}
@@ -81,14 +94,14 @@ func Map[T any](opt Options, n int, fn func(i int) T) []T {
 	var wg sync.WaitGroup
 	wg.Add(w)
 	for g := 0; g < w; g++ {
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				out[i] = fn(i)
+				run(i, worker)
 				d := int(done.Add(1))
 				if opt.Progress != nil {
 					mu.Lock()
@@ -96,7 +109,7 @@ func Map[T any](opt Options, n int, fn func(i int) T) []T {
 					mu.Unlock()
 				}
 			}
-		}()
+		}(g)
 	}
 	wg.Wait()
 	return out
@@ -128,26 +141,4 @@ func DeriveSeed(base uint64, point, rep int) uint64 {
 	z = splitmix(z ^ (uint64(int64(point)) + 0x9e3779b97f4a7c15))
 	z = splitmix(z ^ (uint64(int64(rep)) + 0xbf58476d1ce4e5b9))
 	return z
-}
-
-// Progress state for the line printer.
-type printer struct {
-	w     io.Writer
-	label string
-	start time.Time
-}
-
-// Printer returns a Progress callback that rewrites a single status
-// line on w ("label: done/total") and, on the final job, replaces it
-// with a completion line including the elapsed wall-clock time.
-func Printer(w io.Writer, label string) func(done, total int) {
-	p := &printer{w: w, label: label, start: time.Now()}
-	return func(done, total int) {
-		if done < total {
-			fmt.Fprintf(p.w, "\r%s: %d/%d", p.label, done, total)
-			return
-		}
-		fmt.Fprintf(p.w, "\r%s: %d/%d done in %s\n",
-			p.label, done, total, time.Since(p.start).Round(time.Millisecond))
-	}
 }

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"rsin/internal/obs"
 	"rsin/internal/rng"
 )
 
@@ -129,17 +130,79 @@ func TestProgressReporting(t *testing.T) {
 	}
 }
 
-func TestPrinterFinishesLine(t *testing.T) {
+func TestSinkProgressFinishesLine(t *testing.T) {
 	var sb strings.Builder
-	p := Printer(&sb, "sweep")
+	p := SinkProgress(obs.NewSink(&sb), "sweep")
 	p(1, 2)
 	p(2, 2)
 	out := sb.String()
 	if !strings.Contains(out, "sweep: 1/2") || !strings.Contains(out, "sweep: 2/2 done in") {
-		t.Errorf("printer output %q missing expected lines", out)
+		t.Errorf("progress output %q missing expected lines", out)
 	}
 	if !strings.HasSuffix(out, "\n") {
-		t.Error("printer should end the line on completion")
+		t.Error("progress should end the line on completion")
+	}
+}
+
+func TestTelemetryRecordsEveryJob(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		tel := NewTelemetry()
+		Map(Options{Workers: workers, Telemetry: tel}, 12, func(i int) int {
+			time.Sleep(time.Millisecond)
+			return i
+		})
+		jobs := tel.Jobs()
+		if len(jobs) != 12 {
+			t.Fatalf("workers=%d: %d timings recorded, want 12", workers, len(jobs))
+		}
+		for k, j := range jobs {
+			if j.Job != k {
+				t.Fatalf("workers=%d: Jobs() not sorted by index: %v", workers, jobs)
+			}
+			if j.End < j.Start {
+				t.Errorf("workers=%d: job %d ends before it starts: %+v", workers, k, j)
+			}
+			if j.Worker < 0 || j.Worker >= 4 {
+				t.Errorf("workers=%d: job %d ran on out-of-range worker %d", workers, k, j.Worker)
+			}
+		}
+		s := tel.Summary()
+		if s.Jobs != 12 || s.Workers < 1 || s.Workers > workers {
+			t.Errorf("workers=%d: summary %+v", workers, s)
+		}
+		if s.Occupancy <= 0 || s.Occupancy > 1.000001 {
+			t.Errorf("workers=%d: occupancy %g outside (0,1]", workers, s.Occupancy)
+		}
+	}
+}
+
+func TestTelemetryDoesNotChangeResults(t *testing.T) {
+	job := func(i int) uint64 { return rng.New(DeriveSeed(5, i, 0)).Uint64() }
+	plain := Map(Options{Workers: 3}, 20, job)
+	tel := NewTelemetry()
+	traced := Map(Options{Workers: 3, Telemetry: tel}, 20, job)
+	for i := range plain {
+		if plain[i] != traced[i] {
+			t.Fatalf("slot %d: telemetry changed the result", i)
+		}
+	}
+}
+
+func TestTelemetryWriteTrace(t *testing.T) {
+	tel := NewTelemetry()
+	Map(Options{Workers: 2, Telemetry: tel}, 5, func(i int) int {
+		time.Sleep(time.Millisecond)
+		return i
+	})
+	var sb strings.Builder
+	if err := tel.WriteTrace(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{`"runner"`, `"job 0"`, `"job 4"`, `"ph":"X"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace missing %s:\n%s", want, out)
+		}
 	}
 }
 

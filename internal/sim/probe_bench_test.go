@@ -1,0 +1,42 @@
+package sim
+
+import (
+	"testing"
+
+	"rsin/internal/crossbar"
+	"rsin/internal/obs"
+)
+
+// BenchmarkRunProbe measures the cost of the observability layer on one
+// sim.Run. The "off" case is the nil-probe fast path the CI overhead
+// gate compares against: its per-event cost over a bare engine is one
+// predictable branch per emission site.
+func BenchmarkRunProbe(b *testing.B) {
+	cfg := Config{
+		Lambda:  0.5,
+		MuN:     4,
+		MuS:     1,
+		Seed:    1,
+		Warmup:  100,
+		Samples: 20000,
+	}
+	run := func(b *testing.B, mk func(i int) obs.Probe) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c := cfg
+			c.Probe = mk(i)
+			if _, err := Run(crossbar.New(16, 8, 2), c); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("off", func(b *testing.B) {
+		run(b, func(int) obs.Probe { return nil })
+	})
+	b.Run("metrics", func(b *testing.B) {
+		run(b, func(int) obs.Probe { return obs.NewRecorder(obs.NewRegistry()) })
+	})
+	b.Run("trace", func(b *testing.B) {
+		run(b, func(int) obs.Probe { return obs.NewTrace() })
+	})
+}

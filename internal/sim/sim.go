@@ -24,6 +24,7 @@ import (
 
 	"rsin/internal/core"
 	"rsin/internal/invariant"
+	"rsin/internal/obs"
 	"rsin/internal/rng"
 	"rsin/internal/stats"
 )
@@ -87,6 +88,13 @@ type Config struct {
 	// Result.Delays (Samples values), enabling quantile analysis beyond
 	// the mean the paper reports.
 	CollectDelays bool
+
+	// Probe, when non-nil, receives every lifecycle event (arrivals,
+	// enqueues, grants, transmissions, releases, rejects) stamped with
+	// simulated time. A nil Probe is the fast path: every emission site
+	// is guarded by a nil check, so an unobserved run pays one branch
+	// per event. Probes observe the full run including warmup.
+	Probe obs.Probe
 }
 
 // Result carries the measured steady-state estimates of one run.
@@ -98,8 +106,9 @@ type Result struct {
 	Utilization     float64  // fraction of port-time spent transmitting or reserved
 	Completed       int64    // tasks fully served during measurement
 	Telemetry       core.Telemetry
-	SimTime         float64   // simulated duration (including warmup)
-	Delays          []float64 // raw post-warmup delay samples (Config.CollectDelays)
+	Details         []core.NamedCounter // fine-grained network counters (core.DetailSource)
+	SimTime         float64             // simulated duration (including warmup)
+	Delays          []float64           // raw post-warmup delay samples (Config.CollectDelays)
 }
 
 // DelayQuantile returns the q-quantile (0 ≤ q ≤ 1) of the collected
@@ -221,6 +230,22 @@ func Run(net core.Network, cfg Config) (res Result, err error) {
 	queueLen.Set(0, 0)
 	busyTW.Set(0, 0)
 
+	// Probe support. Omega-style in-network rejects are surfaced by
+	// diffing the network's telemetry counter around each Acquire; the
+	// diff (and the TelemetrySource lookup) happens only when a probe is
+	// attached, keeping the nil fast path to a single branch per site.
+	probe := cfg.Probe
+	var telSrc core.TelemetrySource
+	if probe != nil {
+		telSrc, _ = net.(core.TelemetrySource)
+	}
+	rejectCount := func() int64 {
+		if telSrc == nil {
+			return 0
+		}
+		return telSrc.Telemetry().Rejects
+	}
+
 	for pid := 0; pid < p; pid++ {
 		if rates[pid] > 0 {
 			schedule(event{time: src.Exp(rates[pid]), kind: evArrival, pid: pid})
@@ -238,7 +263,11 @@ func Run(net core.Network, cfg Config) (res Result, err error) {
 		setBusy(1)
 		gi := grants.put(g, arrivedAt)
 		schedule(event{time: now + src.Exp(cfg.MuN), kind: evTxDone, pid: pid, gidx: gi})
-		return now - arrivedAt
+		d := now - arrivedAt
+		if probe != nil {
+			probe.Event(obs.Event{T: now, Kind: obs.KindTransmitStart, Pid: pid, Port: g.Port, Dur: d})
+		}
+		return d
 	}
 
 	var kept []float64
@@ -263,9 +292,21 @@ func Run(net core.Network, cfg Config) (res Result, err error) {
 		if ps.transmitting || len(ps.queue) == 0 {
 			return false
 		}
+		var rejBefore int64
+		if probe != nil {
+			rejBefore = rejectCount()
+		}
 		g, ok := net.Acquire(pid)
 		if !ok {
+			if probe != nil {
+				if rej := rejectCount() - rejBefore; rej > 0 {
+					probe.Event(obs.Event{T: now, Kind: obs.KindReject, Pid: pid, Port: -1, Aux: rej})
+				}
+			}
 			return false
+		}
+		if probe != nil {
+			probe.Event(obs.Event{T: now, Kind: obs.KindGrant, Pid: pid, Port: g.Port, Aux: rejectCount() - rejBefore})
 		}
 		recordDelay(startTx(pid, g))
 		return true
@@ -340,12 +381,20 @@ func Run(net core.Network, cfg Config) (res Result, err error) {
 		case evArrival:
 			arrivedTotal++
 			ps := &procs[e.pid]
+			if probe != nil {
+				probe.Event(obs.Event{T: now, Kind: obs.KindArrival, Pid: e.pid, Port: -1})
+			}
 			ps.queue = append(ps.queue, now)
 			setQ(1)
 			if len(ps.queue) > cfg.MaxQueue {
 				return Result{}, fmt.Errorf("%w (processor %d, t=%g)", ErrSaturated, e.pid, now)
 			}
 			tryStart(e.pid)
+			// The new arrival is the queue tail; if anything is still
+			// queued here, the tail (this task) is blocked.
+			if probe != nil && len(ps.queue) > 0 {
+				probe.Event(obs.Event{T: now, Kind: obs.KindEnqueue, Pid: e.pid, Port: -1, Aux: int64(len(ps.queue))})
+			}
 			schedule(event{time: now + src.Exp(rates[e.pid]), kind: evArrival, pid: e.pid})
 		case evTxDone:
 			g := grants.get(e.gidx)
@@ -353,18 +402,25 @@ func Run(net core.Network, cfg Config) (res Result, err error) {
 			procs[e.pid].transmitting = false
 			setBusy(-1)
 			inService++
+			grants.markTx(e.gidx, now)
 			schedule(event{time: now + src.Exp(cfg.MuS), kind: evSvcDone, gidx: e.gidx})
+			if probe != nil {
+				probe.Event(obs.Event{T: now, Kind: obs.KindTransmitEnd, Pid: e.pid, Port: g.Port})
+			}
 			// The freed path (and bus) may unblock queued tasks,
 			// including this processor's own next task.
 			wake()
 		case evSvcDone:
-			g, arrived := grants.take(e.gidx)
-			net.ReleaseResource(g)
+			s := grants.take(e.gidx)
+			net.ReleaseResource(s.g)
 			inService--
 			servedTotal++
 			completed++
 			if warmedUp {
-				responses.Add(now - arrived)
+				responses.Add(now - s.arrived)
+			}
+			if probe != nil {
+				probe.Event(obs.Event{T: now, Kind: obs.KindRelease, Pid: s.g.Processor, Port: s.g.Port, Dur: now - s.txDone})
 			}
 			// The freed resource may unblock queued tasks.
 			wake()
@@ -402,6 +458,9 @@ func Run(net core.Network, cfg Config) (res Result, err error) {
 	if ts, ok := net.(core.TelemetrySource); ok {
 		res.Telemetry = ts.Telemetry()
 	}
+	if ds, ok := net.(core.DetailSource); ok {
+		res.Details = ds.DetailCounters()
+	}
 	return res, nil
 }
 
@@ -415,6 +474,7 @@ type grantTable struct {
 type grantSlot struct {
 	g       core.Grant
 	arrived float64
+	txDone  float64 // when transmission ended (service span start)
 }
 
 func newGrantTable() *grantTable { return &grantTable{} }
@@ -432,12 +492,16 @@ func (t *grantTable) put(g core.Grant, arrived float64) int {
 
 func (t *grantTable) get(i int) core.Grant { return t.slots[i].g }
 
+// markTx stamps the time slot i's transmission completed, so the
+// service-release event can report the service span.
+func (t *grantTable) markTx(i int, tx float64) { t.slots[i].txDone = tx }
+
 // outstanding counts grants currently held (put but not yet taken).
 func (t *grantTable) outstanding() int { return len(t.slots) - len(t.free) }
 
-func (t *grantTable) take(i int) (core.Grant, float64) {
+func (t *grantTable) take(i int) grantSlot {
 	s := t.slots[i]
 	t.slots[i] = grantSlot{}
 	t.free = append(t.free, i)
-	return s.g, s.arrived
+	return s
 }

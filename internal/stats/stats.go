@@ -336,6 +336,120 @@ func (h *Histogram) Bucket(i int) int64 { return h.buckets[i] }
 // NumBuckets returns the number of interior buckets.
 func (h *Histogram) NumBuckets() int { return len(h.buckets) }
 
+// Log2Histogram is a fixed-log2-bucket histogram: bucket i counts
+// observations in [2^(minExp+i), 2^(minExp+i+1)). Exponential bucketing
+// gives constant relative resolution across the many decades a queueing
+// delay distribution spans, with a fixed memory footprint and no
+// data-dependent bucket boundaries — so two deterministic runs fill
+// byte-identical histograms. Observations below 2^minExp (including the
+// exact zeros of immediately-granted requests) land in the underflow
+// bucket; observations at or above 2^maxExp land in the overflow bucket.
+type Log2Histogram struct {
+	minExp  int
+	buckets []int64
+	under   int64
+	over    int64
+	total   int64
+	sum     float64
+}
+
+// NewLog2Histogram returns a histogram spanning [2^minExp, 2^maxExp)
+// with one bucket per binary order of magnitude. maxExp must exceed
+// minExp.
+func NewLog2Histogram(minExp, maxExp int) *Log2Histogram {
+	if maxExp <= minExp {
+		panic("stats: Log2Histogram needs maxExp > minExp")
+	}
+	return &Log2Histogram{
+		minExp:  minExp,
+		buckets: make([]int64, maxExp-minExp),
+	}
+}
+
+// Add incorporates one observation.
+func (h *Log2Histogram) Add(x float64) {
+	h.total++
+	h.sum += x
+	if x < math.Ldexp(1, h.minExp) {
+		h.under++
+		return
+	}
+	i := math.Ilogb(x) - h.minExp
+	if i >= len(h.buckets) {
+		h.over++
+		return
+	}
+	h.buckets[i]++
+}
+
+// N returns the total number of observations.
+func (h *Log2Histogram) N() int64 { return h.total }
+
+// Sum returns the running sum of all observations.
+func (h *Log2Histogram) Sum() float64 { return h.sum }
+
+// Mean returns the sample mean of all observations.
+func (h *Log2Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / float64(h.total)
+}
+
+// Under returns the underflow count (observations below 2^minExp).
+func (h *Log2Histogram) Under() int64 { return h.under }
+
+// Over returns the overflow count (observations at or above 2^maxExp).
+func (h *Log2Histogram) Over() int64 { return h.over }
+
+// NumBuckets returns the number of interior buckets.
+func (h *Log2Histogram) NumBuckets() int { return len(h.buckets) }
+
+// Bucket returns the count in bucket i.
+func (h *Log2Histogram) Bucket(i int) int64 { return h.buckets[i] }
+
+// BucketBounds returns bucket i's half-open range [lo, hi).
+func (h *Log2Histogram) BucketBounds(i int) (lo, hi float64) {
+	return math.Ldexp(1, h.minExp+i), math.Ldexp(1, h.minExp+i+1)
+}
+
+// Quantile returns an approximate q-quantile (0 ≤ q ≤ 1): the geometric
+// midpoint of the bucket holding the target rank, with underflow
+// attributed to zero and overflow to the upper edge.
+func (h *Log2Histogram) Quantile(q float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	target := int64(q * float64(h.total))
+	c := h.under
+	if c > target {
+		return 0
+	}
+	for i, b := range h.buckets {
+		c += b
+		if c > target {
+			lo, hi := h.BucketBounds(i)
+			return math.Sqrt(lo * hi)
+		}
+	}
+	return math.Ldexp(1, h.minExp+len(h.buckets))
+}
+
+// Merge combines another histogram into h. Both must share the same
+// bucket layout.
+func (h *Log2Histogram) Merge(o *Log2Histogram) {
+	if h.minExp != o.minExp || len(h.buckets) != len(o.buckets) {
+		panic("stats: merging Log2Histograms with different layouts")
+	}
+	for i, b := range o.buckets {
+		h.buckets[i] += b
+	}
+	h.under += o.under
+	h.over += o.over
+	h.total += o.total
+	h.sum += o.sum
+}
+
 // Median returns the sample median of a slice (not modified).
 func Median(xs []float64) float64 {
 	if len(xs) == 0 {

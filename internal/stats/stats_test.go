@@ -293,3 +293,103 @@ func TestWelfordVarianceNonNegativeProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestLog2HistogramBucketing(t *testing.T) {
+	h := NewLog2Histogram(-2, 3) // buckets [0.25,0.5) [0.5,1) [1,2) [2,4) [4,8)
+	if h.NumBuckets() != 5 {
+		t.Fatalf("NumBuckets = %d, want 5", h.NumBuckets())
+	}
+	for i, x := range []float64{0.25, 0.5, 1, 2, 4} {
+		h.Add(x) // each exact power of two opens bucket i
+		if h.Bucket(i) != 1 {
+			t.Errorf("bucket %d = %d after adding %v, want 1", i, h.Bucket(i), x)
+		}
+	}
+	h.Add(0)    // exact zero of an immediately-granted request
+	h.Add(0.1)  // below 2^minExp
+	h.Add(8)    // at 2^maxExp
+	h.Add(1000) // far above
+	if h.Under() != 2 || h.Over() != 2 {
+		t.Errorf("Under/Over = %d/%d, want 2/2", h.Under(), h.Over())
+	}
+	if h.N() != 9 {
+		t.Errorf("N = %d, want 9", h.N())
+	}
+	lo, hi := h.BucketBounds(2)
+	if lo != 1 || hi != 2 {
+		t.Errorf("BucketBounds(2) = [%v,%v), want [1,2)", lo, hi)
+	}
+}
+
+func TestLog2HistogramMeanIncludesTails(t *testing.T) {
+	h := NewLog2Histogram(-2, 3)
+	h.Add(0)   // underflow
+	h.Add(100) // overflow
+	h.Add(2)
+	if got := h.Mean(); math.Abs(got-34) > 1e-12 {
+		t.Errorf("Mean = %v, want 34", got)
+	}
+	if got := h.Sum(); math.Abs(got-102) > 1e-12 {
+		t.Errorf("Sum = %v, want 102", got)
+	}
+}
+
+func TestLog2HistogramQuantile(t *testing.T) {
+	var empty Log2Histogram
+	if (&empty).Quantile(0.5) != 0 {
+		t.Error("empty quantile should be 0")
+	}
+	h := NewLog2Histogram(-2, 3)
+	for i := 0; i < 10; i++ {
+		h.Add(0) // underflow mass → quantile attributes to zero
+	}
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("all-underflow median = %v, want 0", got)
+	}
+	h2 := NewLog2Histogram(-2, 3)
+	for i := 0; i < 10; i++ {
+		h2.Add(3) // all in [2,4)
+	}
+	want := math.Sqrt(2 * 4) // geometric bucket midpoint
+	if got := h2.Quantile(0.5); math.Abs(got-want) > 1e-12 {
+		t.Errorf("median = %v, want %v", got, want)
+	}
+	h3 := NewLog2Histogram(-2, 3)
+	h3.Add(999) // all overflow → upper edge 2^maxExp
+	if got := h3.Quantile(0.9); got != 8 {
+		t.Errorf("all-overflow quantile = %v, want 8", got)
+	}
+}
+
+func TestLog2HistogramMerge(t *testing.T) {
+	a := NewLog2Histogram(-2, 3)
+	b := NewLog2Histogram(-2, 3)
+	a.Add(1)
+	a.Add(0)
+	b.Add(1)
+	b.Add(100)
+	a.Merge(b)
+	if a.N() != 4 || a.Bucket(2) != 2 || a.Under() != 1 || a.Over() != 1 {
+		t.Errorf("merged N=%d bucket2=%d under=%d over=%d, want 4/2/1/1",
+			a.N(), a.Bucket(2), a.Under(), a.Over())
+	}
+	if got := a.Sum(); math.Abs(got-102) > 1e-12 {
+		t.Errorf("merged Sum = %v, want 102", got)
+	}
+	c := NewLog2Histogram(-1, 3)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic merging mismatched layouts")
+		}
+	}()
+	a.Merge(c)
+}
+
+func TestLog2HistogramConstructorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewLog2Histogram(3, 3)
+}
