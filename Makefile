@@ -1,0 +1,38 @@
+# Developer entry points. CI runs the same commands (see
+# .github/workflows/ci.yml); keep the two in sync.
+
+GO ?= go
+
+.PHONY: build test test-race test-invariant lint figures bench bench-check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+test-invariant:
+	$(GO) test -tags invariant ./...
+
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/rsinlint ./...
+
+# Regenerate the committed figures golden (review the diff!).
+figures:
+	$(GO) run ./cmd/figures -fig all > figures_output.txt
+
+# Refresh the committed engine-throughput baseline: min-of-5 runs of
+# BenchmarkEngineThroughput per case, written to BENCH_sim.json
+# (schema rsin-bench/1). Run after intentional engine changes and
+# commit the result alongside them.
+bench:
+	$(GO) run ./cmd/bench -out BENCH_sim.json -count 5 -benchtime 3x
+
+# Gate the current tree against the committed baseline: fails when any
+# benchmark is >5% slower than BENCH_sim.json on this machine.
+bench-check:
+	$(GO) run ./cmd/bench -baseline BENCH_sim.json -count 5 -benchtime 3x

@@ -1,0 +1,54 @@
+package bus
+
+import "testing"
+
+// TestAcquireWouldFailTelemetryExact pins the core.AvailabilityHinter
+// contract: a true answer must leave telemetry exactly as the failed
+// Acquire would have, and a false answer must not touch it.
+func TestAcquireWouldFailTelemetryExact(t *testing.T) {
+	// Drive two identical buses into the same state, then fail one via
+	// Acquire and the other via the hint.
+	drive := func() (*Bus, *Bus) { return New(2, 1), New(2, 1) }
+
+	// Path block: bus held, resource count irrelevant.
+	a, b := drive()
+	if _, ok := a.Acquire(0); !ok {
+		t.Fatal("setup grant failed")
+	}
+	b.Acquire(0)
+	if _, ok := a.Acquire(1); ok {
+		t.Fatal("acquire on a busy bus succeeded")
+	}
+	if !b.AcquireWouldFail(1) {
+		t.Fatal("hint said a busy bus could grant")
+	}
+	if a.Telemetry() != b.Telemetry() {
+		t.Errorf("path-block telemetry diverged:\nacquire %+v\nhint    %+v", a.Telemetry(), b.Telemetry())
+	}
+
+	// Resource block: bus released, zero free resources.
+	a2, b2 := drive()
+	g1, _ := a2.Acquire(0)
+	g2, _ := b2.Acquire(0)
+	a2.ReleasePath(g1)
+	b2.ReleasePath(g2)
+	if _, ok := a2.Acquire(1); ok {
+		t.Fatal("acquire with zero free resources succeeded")
+	}
+	if !b2.AcquireWouldFail(1) {
+		t.Fatal("hint said zero free resources could grant")
+	}
+	if a2.Telemetry() != b2.Telemetry() {
+		t.Errorf("resource-block telemetry diverged:\nacquire %+v\nhint    %+v", a2.Telemetry(), b2.Telemetry())
+	}
+
+	// Eligible: the hint answers false and leaves telemetry untouched.
+	fresh := New(2, 1)
+	if fresh.AcquireWouldFail(0) {
+		t.Fatal("hint said a fresh bus would fail")
+	}
+	var zero = New(2, 1).Telemetry()
+	if fresh.Telemetry() != zero {
+		t.Errorf("false hint touched telemetry: %+v", fresh.Telemetry())
+	}
+}

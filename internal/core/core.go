@@ -80,6 +80,33 @@ type TelemetrySource interface {
 	Telemetry() Telemetry
 }
 
+// AvailabilityHinter is an optional Network extension that lets the
+// discrete-event engine's incremental wake path skip hopeless retries
+// cheaply. It models the paper's status broadcast: a processor consults
+// the broadcast availability bits before re-asserting a request, and
+// stays quiet when the status says nothing is reachable.
+//
+// AcquireWouldFail reports whether an Acquire(pid) issued right now is
+// certain to fail without entering the network. The contract is strict,
+// because the engine's results must stay bit-for-bit identical to a
+// full Acquire probe:
+//
+//   - When it returns true, the implementation must have updated its
+//     telemetry exactly as the corresponding failed Acquire would have
+//     (the engine will not call Acquire).
+//   - When it returns false, the engine calls Acquire normally, which
+//     may still fail — e.g. on in-network path blockage the aggregate
+//     status bits cannot see. The call must leave telemetry untouched
+//     in this case.
+//
+// Implementations are expected to answer in O(1) from incrementally
+// maintained state; that is the whole point of the interface, since the
+// failure paths it short-circuits are O(ports) scans on the crossbar
+// and Omega networks.
+type AvailabilityHinter interface {
+	AcquireWouldFail(pid int) bool
+}
+
 // NamedCounter is one fine-grained telemetry counter exposed by a
 // network: a stable name (used as a metrics key, so it must be
 // deterministic across runs) and its value.
@@ -104,7 +131,8 @@ type DetailSource interface {
 // systems exact.
 type Partitioned struct {
 	subs     []Network
-	perSub   int // processors per sub-network
+	hinters  []AvailabilityHinter // parallel to subs; nil entry = no hint
+	perSub   int                  // processors per sub-network
 	ports    int
 	resTotal int
 	name     string
@@ -125,8 +153,13 @@ func NewPartitioned(subs []Network) *Partitioned {
 		ports += s.Ports()
 		res += s.TotalResources()
 	}
+	hinters := make([]AvailabilityHinter, len(subs))
+	for i, s := range subs {
+		hinters[i], _ = s.(AvailabilityHinter)
+	}
 	return &Partitioned{
 		subs:     subs,
+		hinters:  hinters,
 		perSub:   per,
 		ports:    ports,
 		resTotal: res,
@@ -160,6 +193,22 @@ func (p *Partitioned) Acquire(pid int) (Grant, bool) {
 		Port:      portBase + g.Port,
 		Path:      partGrant{sub: sub, inner: g},
 	}, true
+}
+
+// AcquireWouldFail implements AvailabilityHinter by consulting pid's
+// own partition: requests never cross partitions, so a release in one
+// sub-network can only unblock that sub-network's processors — this is
+// exactly the retry-set narrowing the engine wants. A sub-network
+// without a hint answers false (the engine falls back to Acquire).
+func (p *Partitioned) AcquireWouldFail(pid int) bool {
+	sub := pid / p.perSub
+	if sub < 0 || sub >= len(p.subs) {
+		panic(fmt.Sprintf("core: processor %d outside partitioned system", pid))
+	}
+	if h := p.hinters[sub]; h != nil {
+		return h.AcquireWouldFail(pid % p.perSub)
+	}
+	return false
 }
 
 // ReleasePath implements Network.
@@ -225,3 +274,4 @@ func (p *Partitioned) DetailCounters() []NamedCounter {
 var _ Network = (*Partitioned)(nil)
 var _ TelemetrySource = (*Partitioned)(nil)
 var _ DetailSource = (*Partitioned)(nil)
+var _ AvailabilityHinter = (*Partitioned)(nil)

@@ -1,0 +1,59 @@
+package core_test
+
+import (
+	"testing"
+
+	"rsin/internal/bus"
+	"rsin/internal/core"
+)
+
+// plainNet is a Network that does not implement AvailabilityHinter.
+type plainNet struct{ granted bool }
+
+func (n *plainNet) Acquire(pid int) (core.Grant, bool) {
+	if n.granted {
+		return core.Grant{}, false
+	}
+	n.granted = true
+	return core.Grant{Processor: pid}, true
+}
+func (n *plainNet) ReleasePath(core.Grant)     {}
+func (n *plainNet) ReleaseResource(core.Grant) {}
+func (n *plainNet) Processors() int            { return 2 }
+func (n *plainNet) Ports() int                 { return 1 }
+func (n *plainNet) TotalResources() int        { return 1 }
+func (n *plainNet) Name() string               { return "plain" }
+
+// TestPartitionedAvailabilityHint checks the per-partition delegation:
+// the hint consults only pid's own sub-network, and its telemetry
+// accounting lands on that sub-network exactly as a failed Acquire
+// would.
+func TestPartitionedAvailabilityHint(t *testing.T) {
+	mk := func() *core.Partitioned {
+		return core.NewPartitioned([]core.Network{bus.New(2, 1), bus.New(2, 1)})
+	}
+	a, b := mk(), mk()
+	// Saturate partition 0 (processors 0–1) on both systems.
+	a.Acquire(0)
+	b.Acquire(0)
+	if _, ok := a.Acquire(1); ok {
+		t.Fatal("acquire on a saturated partition succeeded")
+	}
+	if !b.AcquireWouldFail(1) {
+		t.Fatal("hint said a saturated partition could grant")
+	}
+	if a.Telemetry() != b.Telemetry() {
+		t.Errorf("partitioned telemetry diverged:\nacquire %+v\nhint    %+v", a.Telemetry(), b.Telemetry())
+	}
+	// Partition 1 (processors 2–3) is untouched and must stay hintable.
+	if b.AcquireWouldFail(2) {
+		t.Error("hint condemned an idle partition")
+	}
+
+	// A partition whose sub-network has no hint answers false: the
+	// engine falls back to the real Acquire.
+	mixed := core.NewPartitioned([]core.Network{&plainNet{granted: true}})
+	if mixed.AcquireWouldFail(0) {
+		t.Error("hint-less sub-network reported a certain failure")
+	}
+}

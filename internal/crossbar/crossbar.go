@@ -55,6 +55,12 @@ type Crossbar struct {
 	free    []int
 	tel     core.Telemetry
 
+	// Incremental aggregates backing the O(1) core.AvailabilityHinter
+	// answer — the status lines a real resource controller would OR
+	// together rather than rescan.
+	eligPorts    int // ports with an idle bus and ≥1 free resource
+	freeResPorts int // ports with ≥1 free resource (bus state ignored)
+
 	cellsSwept int64   // crossbar cells examined across all Acquires
 	portGrants []int64 // grants latched per output port
 }
@@ -72,13 +78,15 @@ func NewWithPolicy(processors, ports, perPort int, policy PortPolicy) *Crossbar 
 		panic(fmt.Sprintf("crossbar: invalid shape %dx%d r=%d", processors, ports, perPort))
 	}
 	x := &Crossbar{
-		processors: processors,
-		ports:      ports,
-		perPort:    perPort,
-		policy:     policy,
-		busBusy:    make([]bool, ports),
-		free:       make([]int, ports),
-		portGrants: make([]int64, ports),
+		processors:   processors,
+		ports:        ports,
+		perPort:      perPort,
+		policy:       policy,
+		busBusy:      make([]bool, ports),
+		free:         make([]int, ports),
+		eligPorts:    ports,
+		freeResPorts: ports,
+		portGrants:   make([]int64, ports),
 	}
 	for i := range x.free {
 		x.free[i] = perPort
@@ -137,10 +145,61 @@ func (x *Crossbar) Acquire(pid int) (core.Grant, bool) {
 		"policy %v granted ineligible port %d (busy=%v free=%d)",
 		x.policy, best, x.busBusy[best], x.free[best])
 	x.busBusy[best] = true
+	x.eligPorts-- // was eligible (asserted above), now its bus is busy
 	x.free[best]--
+	if x.free[best] == 0 {
+		x.freeResPorts--
+	}
 	x.tel.Grants++
 	x.portGrants[best]++
+	x.checkAggregates()
 	return core.Grant{Processor: pid, Port: best}, true
+}
+
+// AcquireWouldFail implements core.AvailabilityHinter. The crossbar is
+// non-blocking, so an Acquire succeeds exactly when some port has an
+// idle bus and a free resource — a condition the incremental eligPorts
+// count answers in O(1) instead of Acquire's O(m) row sweep. A hopeless
+// probe replicates Acquire's failure telemetry bit for bit, including
+// the full-row cellsSwept charge: the hardware wavefront still crosses
+// every cell of the row before the row's reject line asserts.
+func (x *Crossbar) AcquireWouldFail(pid int) bool {
+	if pid < 0 || pid >= x.processors {
+		panic(fmt.Sprintf("crossbar: processor %d out of range", pid))
+	}
+	if x.eligPorts > 0 {
+		return false
+	}
+	x.tel.Attempts++
+	x.tel.Failures++
+	x.cellsSwept += int64(x.ports)
+	if x.freeResPorts > 0 {
+		x.tel.PathBlock++
+	} else {
+		x.tel.ResourceBlock++
+	}
+	return true
+}
+
+// checkAggregates recounts the hinter aggregates from scratch under the
+// invariant build tag, pinning the incremental bookkeeping to the
+// ground-truth port state.
+func (x *Crossbar) checkAggregates() {
+	if !invariant.Enabled() {
+		return
+	}
+	elig, freeRes := 0, 0
+	for j := 0; j < x.ports; j++ {
+		if x.free[j] > 0 {
+			freeRes++
+			if !x.busBusy[j] {
+				elig++
+			}
+		}
+	}
+	invariant.Assert(elig == x.eligPorts && freeRes == x.freeResPorts, "crossbar",
+		"hinter aggregates drifted: eligPorts=%d (recount %d), freeResPorts=%d (recount %d)",
+		x.eligPorts, elig, x.freeResPorts, freeRes)
 }
 
 // ReleasePath implements core.Network.
@@ -149,6 +208,10 @@ func (x *Crossbar) ReleasePath(g core.Grant) {
 		panic("crossbar: ReleasePath with idle bus")
 	}
 	x.busBusy[g.Port] = false
+	if x.free[g.Port] > 0 {
+		x.eligPorts++
+	}
+	x.checkAggregates()
 }
 
 // ReleaseResource implements core.Network.
@@ -157,6 +220,13 @@ func (x *Crossbar) ReleaseResource(g core.Grant) {
 		panic("crossbar: ReleaseResource overflow")
 	}
 	x.free[g.Port]++
+	if x.free[g.Port] == 1 {
+		x.freeResPorts++
+		if !x.busBusy[g.Port] {
+			x.eligPorts++
+		}
+	}
+	x.checkAggregates()
 }
 
 // Processors implements core.Network.
@@ -190,16 +260,9 @@ func (x *Crossbar) DetailCounters() []core.NamedCounter {
 
 // FreePorts returns how many ports are currently eligible (idle bus and
 // ≥1 free resource).
-func (x *Crossbar) FreePorts() int {
-	n := 0
-	for j := 0; j < x.ports; j++ {
-		if !x.busBusy[j] && x.free[j] > 0 {
-			n++
-		}
-	}
-	return n
-}
+func (x *Crossbar) FreePorts() int { return x.eligPorts }
 
 var _ core.Network = (*Crossbar)(nil)
 var _ core.TelemetrySource = (*Crossbar)(nil)
 var _ core.DetailSource = (*Crossbar)(nil)
+var _ core.AvailabilityHinter = (*Crossbar)(nil)

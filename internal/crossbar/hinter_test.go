@@ -1,0 +1,57 @@
+package crossbar
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestAcquireWouldFailTelemetryExact pins the core.AvailabilityHinter
+// contract on the crossbar: a true answer replicates the failed
+// Acquire's telemetry — including the full-row cellsSwept charge — and
+// a false answer touches nothing.
+func TestAcquireWouldFailTelemetryExact(t *testing.T) {
+	counters := func(x *Crossbar) string {
+		return fmt.Sprintf("%+v %+v", x.Telemetry(), x.DetailCounters())
+	}
+
+	// Resource block: single port, single resource, held end to end.
+	a, b := New(2, 1, 1), New(2, 1, 1)
+	a.Acquire(0)
+	b.Acquire(0)
+	if _, ok := a.Acquire(1); ok {
+		t.Fatal("acquire with all resources held succeeded")
+	}
+	if !b.AcquireWouldFail(1) {
+		t.Fatal("hint said an exhausted crossbar could grant")
+	}
+	if counters(a) != counters(b) {
+		t.Errorf("resource-block accounting diverged:\nacquire %s\nhint    %s", counters(a), counters(b))
+	}
+
+	// Path block: the port still has a free resource behind a busy bus.
+	a2, b2 := New(2, 1, 2), New(2, 1, 2)
+	a2.Acquire(0)
+	b2.Acquire(0)
+	if _, ok := a2.Acquire(1); ok {
+		t.Fatal("acquire through a busy bus succeeded")
+	}
+	if !b2.AcquireWouldFail(1) {
+		t.Fatal("hint said a path-blocked crossbar could grant")
+	}
+	if counters(a2) != counters(b2) {
+		t.Errorf("path-block accounting diverged:\nacquire %s\nhint    %s", counters(a2), counters(b2))
+	}
+	if a2.Telemetry().PathBlock != 1 {
+		t.Errorf("expected a path block, got %+v", a2.Telemetry())
+	}
+
+	// Eligible: false answer, untouched counters.
+	fresh := New(2, 2, 1)
+	before := counters(fresh)
+	if fresh.AcquireWouldFail(0) {
+		t.Fatal("hint said a fresh crossbar would fail")
+	}
+	if counters(fresh) != before {
+		t.Errorf("false hint touched counters: %s", counters(fresh))
+	}
+}

@@ -29,8 +29,11 @@ type Kind uint8
 const (
 	// KindArrival: a task arrived at a processor's queue.
 	KindArrival Kind = iota
-	// KindEnqueue: the arriving task could not start immediately and
-	// remains queued; Aux is the queue length after the arrival.
+	// KindEnqueue: the arriving task joined its processor's queue,
+	// emitted before the allocation attempt (so a same-instant grant
+	// follows its enqueue in the stream); Aux is the queue length
+	// including the task itself. Every arrival that survives the
+	// saturation check emits one.
 	KindEnqueue
 	// KindGrant: the network allocated a resource; Port is the granted
 	// output port and Aux the in-network rejects the routing search

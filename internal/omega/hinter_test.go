@@ -1,0 +1,48 @@
+package omega
+
+import "testing"
+
+// TestAcquireWouldFailTelemetryExact pins the core.AvailabilityHinter
+// contract on the multistage network: a true answer replicates the
+// resource-block shortcut of Acquire (no routing, no rejects, no box
+// visits), and a false answer touches nothing — even when the
+// subsequent Acquire goes on to fail in-network, which the aggregate
+// status bits cannot see.
+func TestAcquireWouldFailTelemetryExact(t *testing.T) {
+	// Exhaust a 2×2 network: both output ports granted.
+	a, b := New(2, 1), New(2, 1)
+	for pid := 0; pid < 2; pid++ {
+		if _, ok := a.Acquire(pid); !ok {
+			t.Fatalf("setup grant %d failed", pid)
+		}
+		b.Acquire(pid)
+	}
+	if _, ok := a.Acquire(0); ok {
+		t.Fatal("acquire on an exhausted network succeeded")
+	}
+	if !b.AcquireWouldFail(0) {
+		t.Fatal("hint said an exhausted network could grant")
+	}
+	if a.Telemetry() != b.Telemetry() {
+		t.Errorf("resource-block telemetry diverged:\nacquire %+v\nhint    %+v", a.Telemetry(), b.Telemetry())
+	}
+	if a.Telemetry().BoxVisits != b.Telemetry().BoxVisits {
+		t.Error("hint and shortcut disagree on box visits")
+	}
+
+	// Eligible ports exist: the hint answers false and stays silent,
+	// even though wire conflicts may still fail the real Acquire.
+	fresh := New(4, 1)
+	zero := New(4, 1).Telemetry()
+	if fresh.AcquireWouldFail(0) {
+		t.Fatal("hint said a fresh network would fail")
+	}
+	if fresh.Telemetry() != zero {
+		t.Errorf("false hint touched telemetry: %+v", fresh.Telemetry())
+	}
+
+	// VerifyState must hold after hint-driven accounting.
+	if err := b.VerifyState(); err != nil {
+		t.Errorf("VerifyState after hint: %v", err)
+	}
+}

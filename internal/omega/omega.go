@@ -107,7 +107,12 @@ type Omega struct {
 
 	portBusy []bool
 	free     []int
-	outOcc   [][]bool // [stage][wire] output-wire occupancy
+	// eligPorts counts ports with a free bus and ≥1 free resource — the
+	// OR of the paper's per-port Y signals, maintained incrementally so
+	// the core.AvailabilityHinter answer (and Acquire's resource-block
+	// shortcut) is O(1) instead of an O(N) mask scan.
+	eligPorts int
+	outOcc    [][]bool // [stage][wire] output-wire occupancy
 	// reach[s][w] is the bitmask of output ports statically reachable
 	// from the wire leaving stage s at position w.
 	reach [][]uint64
@@ -154,16 +159,17 @@ func New(n, perPort int, opts ...Option) *Omega {
 	}
 	stages := bits.Len(uint(n)) - 1
 	o := &Omega{
-		n:        stages,
-		size:     n,
-		perPort:  perPort,
-		policy:   LaneUpperFirst,
-		wiring:   OmegaWiring,
-		rnd:      rng.New(0x0177e6a5),
-		reroute:  true,
-		portBusy: make([]bool, n),
-		free:     make([]int, n),
-		outOcc:   make([][]bool, stages),
+		n:         stages,
+		size:      n,
+		perPort:   perPort,
+		policy:    LaneUpperFirst,
+		wiring:    OmegaWiring,
+		rnd:       rng.New(0x0177e6a5),
+		reroute:   true,
+		portBusy:  make([]bool, n),
+		free:      make([]int, n),
+		eligPorts: n,
+		outOcc:    make([][]bool, stages),
 
 		rejectsByStage: make([]int64, stages),
 		portGrants:     make([]int64, n),
@@ -292,7 +298,7 @@ func (o *Omega) Acquire(pid int) (core.Grant, bool) {
 		panic(fmt.Sprintf("omega: processor %d out of range", pid))
 	}
 	o.tel.Attempts++
-	if o.eligibleMask() == 0 {
+	if o.eligPorts == 0 {
 		// Phase-1 status already tells the processor to stay queued.
 		o.tel.Failures++
 		o.tel.ResourceBlock++
@@ -309,11 +315,32 @@ func (o *Omega) Acquire(pid int) (core.Grant, bool) {
 	invariant.Assert(!o.portBusy[port] && o.free[port] > 0, "omega",
 		"routed to ineligible port %d (busy=%v free=%d)", port, o.portBusy[port], o.free[port])
 	o.portBusy[port] = true
+	o.eligPorts-- // port was eligible (asserted/checked above)
 	o.free[port]--
 	o.tel.Grants++
 	o.portGrants[port]++
 	o.verify()
 	return core.Grant{Processor: pid, Port: port, Path: pathGrant{wires: wires}}, true
+}
+
+// AcquireWouldFail implements core.AvailabilityHinter: when every
+// output port's Y signal is down (no free bus with a free resource
+// anywhere), Acquire is certain to fail on its resource-block shortcut,
+// and the hint replicates that shortcut's telemetry exactly. When some
+// port is eligible the hint answers false — the request may still
+// path-block inside the boxes, which only the full routing DFS (with
+// its per-stage reject telemetry) can decide.
+func (o *Omega) AcquireWouldFail(pid int) bool {
+	if pid < 0 || pid >= o.size {
+		panic(fmt.Sprintf("omega: processor %d out of range", pid))
+	}
+	if o.eligPorts > 0 {
+		return false
+	}
+	o.tel.Attempts++
+	o.tel.Failures++
+	o.tel.ResourceBlock++
+	return true
 }
 
 // route performs the availability-guided DFS from the input wire at
@@ -435,6 +462,7 @@ func (o *Omega) acquireStale(pid int) (core.Grant, bool) {
 	invariant.Assert(!o.portBusy[port] && o.free[port] > 0, "omega",
 		"routed to ineligible port %d (busy=%v free=%d)", port, o.portBusy[port], o.free[port])
 	o.portBusy[port] = true
+	o.eligPorts-- // port was eligible (asserted/checked above)
 	o.free[port]--
 	o.tel.Grants++
 	o.portGrants[port]++
@@ -489,6 +517,7 @@ func (o *Omega) AcquireTag(pid, dst int) (core.Grant, bool) {
 		panic("omega: tag routing reached wrong port")
 	}
 	o.portBusy[port] = true
+	o.eligPorts-- // port was eligible (asserted/checked above)
 	o.free[port]--
 	o.tel.Grants++
 	o.portGrants[port]++
@@ -545,6 +574,16 @@ func (o *Omega) VerifyState() error {
 				"port %d free-resource count %d outside [0,%d]", j, f, o.perPort)
 		}
 	}
+	elig := 0
+	for j := 0; j < o.size; j++ {
+		if o.portEligible(j) {
+			elig++
+		}
+	}
+	if elig != o.eligPorts {
+		return invariant.Errorf("omega",
+			"eligible-port count drifted: incremental %d, recount %d", o.eligPorts, elig)
+	}
 	return nil
 }
 
@@ -572,6 +611,9 @@ func (o *Omega) ReleasePath(g core.Grant) {
 		panic("omega: ReleasePath with idle port")
 	}
 	o.portBusy[g.Port] = false
+	if o.free[g.Port] > 0 {
+		o.eligPorts++
+	}
 	o.verify()
 }
 
@@ -581,6 +623,9 @@ func (o *Omega) ReleaseResource(g core.Grant) {
 		panic("omega: ReleaseResource overflow")
 	}
 	o.free[g.Port]++
+	if o.free[g.Port] == 1 && !o.portBusy[g.Port] {
+		o.eligPorts++
+	}
 }
 
 // Processors implements core.Network.
@@ -655,6 +700,7 @@ func (o *Omega) Reset() {
 		o.portBusy[i] = false
 		o.free[i] = o.perPort
 	}
+	o.eligPorts = o.size
 	for s := range o.outOcc {
 		for w := range o.outOcc[s] {
 			o.outOcc[s][w] = false
@@ -680,7 +726,15 @@ func (o *Omega) SetResourceAvailability(j, freeCount int) {
 	if freeCount > o.perPort {
 		freeCount = o.perPort
 	}
+	wasEligible := o.portEligible(j)
 	o.free[j] = freeCount
+	if nowEligible := o.portEligible(j); nowEligible != wasEligible {
+		if nowEligible {
+			o.eligPorts++
+		} else {
+			o.eligPorts--
+		}
+	}
 }
 
 // FreeResources returns the current free-resource count at port j.
@@ -689,3 +743,4 @@ func (o *Omega) FreeResources(j int) int { return o.free[j] }
 var _ core.Network = (*Omega)(nil)
 var _ core.TelemetrySource = (*Omega)(nil)
 var _ core.DetailSource = (*Omega)(nil)
+var _ core.AvailabilityHinter = (*Omega)(nil)

@@ -130,6 +130,11 @@ func (to *TypedOmega) AcquireType(pid, t int) (core.Grant, bool) {
 		return core.Grant{}, false
 	}
 	to.net.portBusy[port] = true
+	// The substrate's untyped free counters are untouched by typed
+	// grants (they stay at capacity), so substrate eligibility is
+	// exactly !portBusy — keep its incremental count in sync since
+	// ReleasePath below goes through the substrate and increments it.
+	to.net.eligPorts--
 	to.free[port][t]--
 	to.tel.Grants++
 	g := core.Grant{Processor: pid, Port: port, Path: typedGrant{

@@ -69,11 +69,15 @@ type Config struct {
 	MuN     float64   // transmission rate μn
 	MuS     float64   // service rate μs
 
-	Seed       uint64     // PRNG seed; equal seeds give identical runs
-	Warmup     float64    // simulated time discarded before measuring
-	Samples    int        // post-warmup delay samples to collect
-	BatchSize  int        // batch size for the batch-means CI (default 1/30 of Samples)
-	MaxQueue   int        // safety cap on any processor queue (default 1e6)
+	Seed      uint64  // PRNG seed; equal seeds give identical runs
+	Warmup    float64 // simulated time discarded before measuring
+	Samples   int     // post-warmup delay samples to collect
+	BatchSize int     // batch size for the batch-means CI (default 1/30 of Samples)
+	// MaxQueue is the safety cap on any single processor queue: the run
+	// aborts with ErrSaturated as soon as a queue reaches MaxQueue tasks
+	// (default 2^20). In practice the cap fires only when the offered
+	// load exceeds the configuration's capacity.
+	MaxQueue   int
 	WakePolicy WakePolicy // retry ordering after releases
 
 	// RetryJitter, when positive, is the mean of an exponential random
@@ -95,6 +99,15 @@ type Config struct {
 	// is guarded by a nil check, so an unobserved run pays one branch
 	// per event. Probes observe the full run including warmup.
 	Probe obs.Probe
+
+	// legacyWake selects the pre-incremental wake engine: full rescans
+	// of every processor after each release instead of the blocked-waiter
+	// set. Unexported on purpose — it is reachable only from this
+	// package's tests, which use it as the oracle in the differential
+	// proof that the incremental engine reproduces the legacy results
+	// bit for bit. It also disables the core.AvailabilityHinter fast
+	// path, so the oracle exercises the plain Acquire protocol.
+	legacyWake bool
 }
 
 // Result carries the measured steady-state estimates of one run.
@@ -109,24 +122,38 @@ type Result struct {
 	Details         []core.NamedCounter // fine-grained network counters (core.DetailSource)
 	SimTime         float64             // simulated duration (including warmup)
 	Delays          []float64           // raw post-warmup delay samples (Config.CollectDelays)
+
+	// sortedDelays caches the sorted copy of Delays built lazily by
+	// DelayQuantile, so repeated quantile queries sort once.
+	sortedDelays []float64
 }
 
 // DelayQuantile returns the q-quantile (0 ≤ q ≤ 1) of the collected
-// delay samples. It requires Config.CollectDelays and panics otherwise.
+// delay samples, linearly interpolating between order statistics (the
+// standard "type 7" estimator): q=0 is the minimum, q=1 the maximum,
+// q=0.5 of an even-sized sample the mean of the two middle values.
+// It requires Config.CollectDelays and panics otherwise, or when q is
+// outside [0, 1]. The sorted sample is cached on first use, so a sweep
+// of quantile queries pays for one sort.
 func (r *Result) DelayQuantile(q float64) float64 {
 	if len(r.Delays) == 0 {
 		panic("sim: DelayQuantile requires Config.CollectDelays")
 	}
-	s := append([]float64(nil), r.Delays...)
-	sort.Float64s(s)
-	idx := int(q * float64(len(s)-1))
-	if idx < 0 {
-		idx = 0
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("sim: quantile %g outside [0,1]", q))
 	}
-	if idx >= len(s) {
-		idx = len(s) - 1
+	if r.sortedDelays == nil {
+		r.sortedDelays = append([]float64(nil), r.Delays...)
+		sort.Float64s(r.sortedDelays)
 	}
-	return s[idx]
+	s := r.sortedDelays
+	pos := q * float64(len(s)-1)
+	lo := int(pos)
+	if lo >= len(s)-1 {
+		return s[len(s)-1]
+	}
+	frac := pos - float64(lo)
+	return s[lo] + frac*(s[lo+1]-s[lo])
 }
 
 // ErrSaturated is returned when a processor queue exceeds Config.MaxQueue,
@@ -191,6 +218,21 @@ func Run(net core.Network, cfg Config) (res Result, err error) {
 	src := rng.New(cfg.Seed)
 	procs := make([]procState, p)
 	grants := newGrantTable()
+
+	// Incremental wake engine state. blocked tracks exactly the
+	// processors that are idle with a nonempty queue — the ones whose
+	// last allocation attempt failed and that a release could unblock.
+	// It is maintained in both engine modes (so the invariant oracle
+	// checks it everywhere) but only the incremental wake consults it.
+	blocked := newWaiterSet(p)
+	var hinter core.AvailabilityHinter
+	if !cfg.legacyWake {
+		hinter, _ = net.(core.AvailabilityHinter)
+	}
+	var wakeScratch []int
+	if cfg.WakePolicy == WakeRandom && !cfg.legacyWake {
+		wakeScratch = make([]int, p)
+	}
 
 	var (
 		h         eventHeap
@@ -286,10 +328,23 @@ func Run(net core.Network, cfg Config) (res Result, err error) {
 	}
 
 	// tryStart attempts to begin transmission for pid if it has queued
-	// work and is idle.
+	// work and is idle, registering pid as a blocked waiter when the
+	// attempt fails and clearing it on a grant.
 	tryStart := func(pid int) bool {
 		ps := &procs[pid]
 		if ps.transmitting || len(ps.queue) == 0 {
+			return false
+		}
+		if hinter != nil && hinter.AcquireWouldFail(pid) {
+			// The network's status broadcast says the attempt is
+			// hopeless; per the core.AvailabilityHinter contract the
+			// hinter has already accounted the probe in telemetry
+			// exactly as the failed Acquire would have, so skipping the
+			// call leaves results bit-for-bit unchanged. Fast-failed
+			// probes never enter the network, so they produce no
+			// in-network rejects — matching the Acquire paths the hint
+			// short-circuits, which reject-count before routing.
+			blocked.add(pid)
 			return false
 		}
 		var rejBefore int64
@@ -303,20 +358,23 @@ func Run(net core.Network, cfg Config) (res Result, err error) {
 					probe.Event(obs.Event{T: now, Kind: obs.KindReject, Pid: pid, Port: -1, Aux: rej})
 				}
 			}
+			blocked.add(pid)
 			return false
 		}
 		if probe != nil {
 			probe.Event(obs.Event{T: now, Kind: obs.KindGrant, Pid: pid, Port: g.Port, Aux: rejectCount() - rejBefore})
 		}
+		blocked.remove(pid)
 		recordDelay(startTx(pid, g))
 		return true
 	}
 
-	// wake retries blocked processors after a release, in policy order,
-	// until a full pass makes no progress. With RetryJitter set, the
-	// retries are instead scheduled after independent random delays —
-	// the paper's de-synchronization suggestion.
-	wake := func() {
+	// wakeLegacy is the pre-incremental engine, kept verbatim as the
+	// differential-test oracle (Config.legacyWake): full passes over all
+	// p processors in policy order until a pass makes no progress, with
+	// tryStart no-opping on processors that are transmitting or have
+	// empty queues.
+	wakeLegacy := func() {
 		if cfg.RetryJitter > 0 {
 			for pid := 0; pid < p; pid++ {
 				ps := &procs[pid]
@@ -360,6 +418,83 @@ func Run(net core.Network, cfg Config) (res Result, err error) {
 		}
 	}
 
+	// wake retries blocked processors after a release. The incremental
+	// engine visits only the registered blocked waiters, in the exact
+	// order the legacy full scan would have reached them, so results are
+	// bit-for-bit identical:
+	//
+	//   - tryStart is a strict no-op (no Acquire, no RNG draw) for any
+	//     processor that is transmitting or has an empty queue, so
+	//     skipping non-waiters cannot change state, telemetry, or the
+	//     random stream;
+	//   - within a pass grants only consume network capacity, so no
+	//     processor becomes blocked mid-pass and the waiter set only
+	//     loses the members the pass itself grants;
+	//   - the legacy engine repeats passes while any pass made progress,
+	//     and its hopeless re-probes land in network telemetry, so the
+	//     incremental engine repeats identically rather than stopping
+	//     early (the AvailabilityHinter keeps those re-probes O(1));
+	//   - WakeRandom draws a full permutation per pass either way
+	//     (PermInto consumes exactly Perm's variates) and filters it by
+	//     membership, preserving the RNG stream.
+	//
+	// With RetryJitter set, retries are instead scheduled after
+	// independent exponential delays — the paper's de-synchronization
+	// suggestion — visiting waiters in the ascending order the legacy
+	// scan used.
+	wake := func() {
+		if cfg.legacyWake {
+			wakeLegacy()
+			return
+		}
+		if cfg.RetryJitter > 0 {
+			for pid := blocked.next(0); pid != -1; pid = blocked.next(pid + 1) {
+				if retryPend[pid] {
+					continue
+				}
+				retryPend[pid] = true
+				schedule(event{time: now + src.Exp(1/cfg.RetryJitter), kind: evRetry, pid: pid})
+			}
+			return
+		}
+		switch cfg.WakePolicy {
+		case WakeIndexOrder:
+			for progress := true; progress; {
+				progress = false
+				for pid := blocked.next(0); pid != -1; pid = blocked.next(pid + 1) {
+					if tryStart(pid) {
+						progress = true
+					}
+				}
+			}
+		case WakeRoundRobin:
+			rrStart = (rrStart + 1) % p
+			for progress := true; progress; {
+				progress = false
+				for pid := blocked.next(rrStart); pid != -1; pid = blocked.next(pid + 1) {
+					if tryStart(pid) {
+						progress = true
+					}
+				}
+				for pid := blocked.next(0); pid != -1 && pid < rrStart; pid = blocked.next(pid + 1) {
+					if tryStart(pid) {
+						progress = true
+					}
+				}
+			}
+		case WakeRandom:
+			for progress := true; progress; {
+				progress = false
+				src.PermInto(wakeScratch)
+				for _, pid := range wakeScratch {
+					if blocked.contains(pid) && tryStart(pid) {
+						progress = true
+					}
+				}
+			}
+		}
+	}
+
 	for collected < cfg.Samples {
 		if h.len() == 0 {
 			break // λ == 0: nothing will ever happen
@@ -386,20 +521,28 @@ func Run(net core.Network, cfg Config) (res Result, err error) {
 			}
 			ps.queue = append(ps.queue, now)
 			setQ(1)
-			if len(ps.queue) > cfg.MaxQueue {
+			if len(ps.queue) >= cfg.MaxQueue {
 				return Result{}, fmt.Errorf("%w (processor %d, t=%g)", ErrSaturated, e.pid, now)
 			}
-			tryStart(e.pid)
-			// The new arrival is the queue tail; if anything is still
-			// queued here, the tail (this task) is blocked.
-			if probe != nil && len(ps.queue) > 0 {
+			// The task has joined its processor's queue; report that
+			// before the allocation attempt so probes see the causal
+			// order enqueue → grant. Aux is the queue length including
+			// this task.
+			if probe != nil {
 				probe.Event(obs.Event{T: now, Kind: obs.KindEnqueue, Pid: e.pid, Port: -1, Aux: int64(len(ps.queue))})
 			}
+			tryStart(e.pid)
 			schedule(event{time: now + src.Exp(rates[e.pid]), kind: evArrival, pid: e.pid})
 		case evTxDone:
 			g := grants.get(e.gidx)
 			net.ReleasePath(g)
 			procs[e.pid].transmitting = false
+			if len(procs[e.pid].queue) > 0 {
+				// The processor turned idle with work still queued: it
+				// is now a blocked waiter (its next task has not been
+				// granted), so register it before the wake below.
+				blocked.add(e.pid)
+			}
 			setBusy(-1)
 			inService++
 			grants.markTx(e.gidx, now)
@@ -416,7 +559,11 @@ func Run(net core.Network, cfg Config) (res Result, err error) {
 			inService--
 			servedTotal++
 			completed++
-			if warmedUp {
+			// Response estimates use only tasks whose whole lifetime lies
+			// in the measurement window: a task that arrived before the
+			// warmup cut carries transient queueing in its response and
+			// would bias the steady-state mean.
+			if warmedUp && s.arrived >= cfg.Warmup {
 				responses.Add(now - s.arrived)
 			}
 			if probe != nil {
@@ -427,6 +574,11 @@ func Run(net core.Network, cfg Config) (res Result, err error) {
 		case evRetry:
 			retryPend[e.pid] = false
 			tryStart(e.pid)
+		}
+		if invariant.Enabled() {
+			if verr := blockedInvariant(procs, blocked); verr != nil {
+				return Result{}, verr
+			}
 		}
 	}
 

@@ -1,0 +1,103 @@
+package sim
+
+import (
+	"math/bits"
+
+	"rsin/internal/invariant"
+)
+
+// waiterSet is the incremental wake engine's registry of blocked
+// processors: exactly those that are idle with a nonempty queue, i.e.
+// whose most recent allocation attempt failed. It is a fixed-size
+// bitset so the engine's release-time retry scan walks only the
+// waiters (in index order, via next) instead of rescanning all p
+// processors, while add/remove/contains stay O(1).
+type waiterSet struct {
+	words []uint64
+	n     int // current member count
+}
+
+// newWaiterSet returns an empty set over processors [0, p).
+func newWaiterSet(p int) *waiterSet {
+	return &waiterSet{words: make([]uint64, (p+63)/64)}
+}
+
+// add inserts pid; inserting a member is a no-op.
+func (ws *waiterSet) add(pid int) {
+	w, b := pid>>6, uint(pid&63)
+	if ws.words[w]&(1<<b) == 0 {
+		ws.words[w] |= 1 << b
+		ws.n++
+	}
+}
+
+// remove deletes pid; deleting a non-member is a no-op.
+func (ws *waiterSet) remove(pid int) {
+	w, b := pid>>6, uint(pid&63)
+	if ws.words[w]&(1<<b) != 0 {
+		ws.words[w] &^= 1 << b
+		ws.n--
+	}
+}
+
+// contains reports membership of pid.
+func (ws *waiterSet) contains(pid int) bool {
+	return ws.words[pid>>6]&(1<<uint(pid&63)) != 0
+}
+
+// empty reports whether the set has no members.
+func (ws *waiterSet) empty() bool { return ws.n == 0 }
+
+// next returns the smallest member ≥ from, or -1 when none remains.
+// Iterating with `for pid := ws.next(0); pid != -1; pid = ws.next(pid+1)`
+// visits the members in ascending order; removing the currently visited
+// member during iteration is safe (the scan never revisits positions
+// below the cursor), which is the only mutation a wake pass performs —
+// a grant removes the granted waiter and can never add one, since
+// grants only consume network capacity.
+func (ws *waiterSet) next(from int) int {
+	if from < 0 {
+		from = 0
+	}
+	w := from >> 6
+	if w >= len(ws.words) {
+		return -1
+	}
+	// Mask off bits below from within its word, then scan forward.
+	word := ws.words[w] >> uint(from&63) << uint(from&63)
+	for {
+		if word != 0 {
+			return w<<6 + bits.TrailingZeros64(word)
+		}
+		w++
+		if w >= len(ws.words) {
+			return -1
+		}
+		word = ws.words[w]
+	}
+}
+
+// blockedInvariant recounts the blocked predicate from the ground-truth
+// processor state and pins the incremental waiter set to it: pid is a
+// member iff it is idle with a nonempty queue. Run after every event
+// under the invariant build (invariant.Enabled), it is the brute-force
+// oracle the bitset bookkeeping must match.
+func blockedInvariant(procs []procState, ws *waiterSet) error {
+	count := 0
+	for pid := range procs {
+		blocked := !procs[pid].transmitting && len(procs[pid].queue) > 0
+		if blocked {
+			count++
+		}
+		if blocked != ws.contains(pid) {
+			return invariant.Errorf("sim",
+				"wake-list drift: processor %d blocked=%v but set membership=%v",
+				pid, blocked, ws.contains(pid))
+		}
+	}
+	if count != ws.n {
+		return invariant.Errorf("sim",
+			"wake-list count drift: %d processors blocked, set size %d", count, ws.n)
+	}
+	return nil
+}
