@@ -24,6 +24,12 @@
 // as JSON, and -cpuprofile/-memprofile write pprof profiles. Trace and
 // metrics files are keyed by simulated time only, so they are
 // byte-identical for any -workers value, exactly like stdout.
+//
+// -queue selects the kernel's pending-event structure (auto, heap, or
+// calendar; auto picks the calendar queue for p ≥ 64). The choice is
+// pure performance: all three settings produce byte-identical output —
+// the equivalence the kernel differential tests and the CI
+// kernel-differential job pin.
 package main
 
 import (
@@ -56,6 +62,7 @@ func main() {
 		workers  = flag.Int("workers", 0, "worker goroutines for replications (0 = all CPUs)")
 		analytic = flag.Bool("analytic", false, "use the exact Markov analysis (SBUS configurations only)")
 		check    = flag.Bool("check", false, "enable runtime model-invariant checks (see internal/invariant)")
+		queue    = flag.String("queue", "auto", "pending-event structure: auto, heap, or calendar (auto picks the calendar for p ≥ 64; all three produce byte-identical output)")
 
 		traceOut   = flag.String("trace", "", "write a Chrome trace_event JSON of the simulated lifecycle to this file (open in Perfetto; byte-identical for any -workers value)")
 		metricsOut = flag.String("metrics", "", "write per-replication metrics snapshots (counters, time-weighted gauges, delay histograms) as JSON to this file")
@@ -65,6 +72,10 @@ func main() {
 	flag.Parse()
 	if *check {
 		invariant.Enable(true)
+	}
+	queueKind, err := sim.ParseEventQueue(*queue)
+	if err != nil {
+		fatal(err)
 	}
 	if *cpuProfile != "" {
 		stop, err := obs.StartCPUProfile(*cpuProfile)
@@ -159,7 +170,7 @@ func main() {
 		res, err := sim.Run(net, sim.Config{
 			Lambda: lam, MuN: muN, MuS: muS,
 			Seed: runner.DeriveSeed(*seed, 0, 2*r), Warmup: *warmup, Samples: *samples,
-			Probe: probe,
+			Probe: probe, EventQueue: queueKind,
 		})
 		return repOut{res: res, err: err}
 	})

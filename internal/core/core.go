@@ -136,6 +136,14 @@ type Partitioned struct {
 	ports    int
 	resTotal int
 	name     string
+
+	portBase []int // cumulative port offset of each partition
+	// grantPool recycles partGrant records so steady-state Acquire does
+	// not allocate. A record returns to the pool at ReleaseResource: the
+	// engine's task lifecycle releases the path at transmit end and the
+	// resource at service end, so the resource release is always the
+	// grant's final use.
+	grantPool []*partGrant
 }
 
 // NewPartitioned builds a partitioned system from identical
@@ -146,10 +154,12 @@ func NewPartitioned(subs []Network) *Partitioned {
 	}
 	per := subs[0].Processors()
 	ports, res := 0, 0
-	for _, s := range subs {
+	portBase := make([]int, len(subs))
+	for i, s := range subs {
 		if s.Processors() != per {
 			panic("core: sub-networks must have identical processor counts")
 		}
+		portBase[i] = ports
 		ports += s.Ports()
 		res += s.TotalResources()
 	}
@@ -164,6 +174,7 @@ func NewPartitioned(subs []Network) *Partitioned {
 		ports:    ports,
 		resTotal: res,
 		name:     fmt.Sprintf("%dx(%s)", len(subs), subs[0].Name()),
+		portBase: portBase,
 	}
 }
 
@@ -183,15 +194,18 @@ func (p *Partitioned) Acquire(pid int) (Grant, bool) {
 	if !ok {
 		return Grant{}, false
 	}
-	portBase, resBase := 0, 0
-	for i := 0; i < sub; i++ {
-		portBase += p.subs[i].Ports()
-		resBase += p.subs[i].TotalResources()
+	var pg *partGrant
+	if n := len(p.grantPool); n > 0 {
+		pg = p.grantPool[n-1]
+		p.grantPool = p.grantPool[:n-1]
+	} else {
+		pg = new(partGrant)
 	}
+	pg.sub, pg.inner = sub, g
 	return Grant{
 		Processor: pid,
-		Port:      portBase + g.Port,
-		Path:      partGrant{sub: sub, inner: g},
+		Port:      p.portBase[sub] + g.Port,
+		Path:      pg,
 	}, true
 }
 
@@ -213,14 +227,16 @@ func (p *Partitioned) AcquireWouldFail(pid int) bool {
 
 // ReleasePath implements Network.
 func (p *Partitioned) ReleasePath(g Grant) {
-	pg := g.Path.(partGrant)
+	pg := g.Path.(*partGrant)
 	p.subs[pg.sub].ReleasePath(pg.inner)
 }
 
-// ReleaseResource implements Network.
+// ReleaseResource implements Network. This is the grant's final use
+// (see grantPool), so the partGrant record is recycled here.
 func (p *Partitioned) ReleaseResource(g Grant) {
-	pg := g.Path.(partGrant)
+	pg := g.Path.(*partGrant)
 	p.subs[pg.sub].ReleaseResource(pg.inner)
+	p.grantPool = append(p.grantPool, pg)
 }
 
 // Processors implements Network.

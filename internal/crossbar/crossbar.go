@@ -15,6 +15,7 @@ package crossbar
 
 import (
 	"fmt"
+	"math/bits"
 
 	"rsin/internal/core"
 	"rsin/internal/invariant"
@@ -61,6 +62,14 @@ type Crossbar struct {
 	eligPorts    int // ports with an idle bus and ≥1 free resource
 	freeResPorts int // ports with ≥1 free resource (bus state ignored)
 
+	// eligBits mirrors the eligibility predicate per port (bit j set iff
+	// port j has an idle bus and ≥1 free resource), so the FirstFree
+	// policy's "first eligible column" answer is a find-first-set over
+	// m/64 words instead of an O(m) cell walk — the scan that dominates
+	// large-p crossbar profiles. checkAggregates recounts it bit by bit
+	// alongside the scalar aggregates.
+	eligBits []uint64
+
 	cellsSwept int64   // crossbar cells examined across all Acquires
 	portGrants []int64 // grants latched per output port
 }
@@ -86,12 +95,30 @@ func NewWithPolicy(processors, ports, perPort int, policy PortPolicy) *Crossbar 
 		free:         make([]int, ports),
 		eligPorts:    ports,
 		freeResPorts: ports,
+		eligBits:     make([]uint64, (ports+63)/64),
 		portGrants:   make([]int64, ports),
 	}
 	for i := range x.free {
 		x.free[i] = perPort
+		x.setElig(i)
 	}
 	return x
+}
+
+// setElig marks port j eligible in the bitmap.
+func (x *Crossbar) setElig(j int) { x.eligBits[j>>6] |= 1 << uint(j&63) }
+
+// clearElig marks port j ineligible in the bitmap.
+func (x *Crossbar) clearElig(j int) { x.eligBits[j>>6] &^= 1 << uint(j&63) }
+
+// firstElig returns the lowest eligible port, or -1 when none is.
+func (x *Crossbar) firstElig() int {
+	for w, word := range x.eligBits {
+		if word != 0 {
+			return w<<6 + bits.TrailingZeros64(word)
+		}
+	}
+	return -1
 }
 
 // Acquire implements core.Network: connect pid to an eligible port per
@@ -102,50 +129,59 @@ func (x *Crossbar) Acquire(pid int) (core.Grant, bool) {
 	}
 	x.tel.Attempts++
 	best := -1
-	anyFreeRes := false
-	for j := 0; j < x.ports; j++ {
-		if x.free[j] > 0 {
-			anyFreeRes = true
+	if x.policy == FirstFree {
+		// The wavefront latches the first column whose controller asserts
+		// eligibility: exactly the bitmap's first set bit. The simulated
+		// hardware still examines best+1 cells on a latch and the full
+		// row on a reject, so cellsSwept charges what the scan would
+		// have, and a reject's blockage classification comes from the
+		// freeResPorts aggregate — by definition the same answer as the
+		// scan's any-free-resource test.
+		best = x.firstElig()
+		if best == -1 {
+			x.cellsSwept += int64(x.ports)
+			x.tel.Failures++
+			if x.freeResPorts > 0 {
+				// Free resources exist but sit behind busy buses: the
+				// shared output port is the blockage.
+				x.tel.PathBlock++
+			} else {
+				x.tel.ResourceBlock++
+			}
+			return core.Grant{}, false
 		}
-		if x.busBusy[j] || x.free[j] == 0 {
-			continue
-		}
-		switch x.policy {
-		case FirstFree:
-			best = j
-		case LeastLoaded:
+		x.cellsSwept += int64(best) + 1
+	} else {
+		anyFreeRes := false
+		for j := 0; j < x.ports; j++ {
+			if x.free[j] > 0 {
+				anyFreeRes = true
+			}
+			if x.busBusy[j] || x.free[j] == 0 {
+				continue
+			}
 			if best == -1 || x.free[j] > x.free[best] {
 				best = j
 			}
 		}
-		if x.policy == FirstFree {
-			break
-		}
-	}
-	// FirstFree stops at the first eligible port, having examined
-	// best+1 cells; every other outcome sweeps the full row. Counted
-	// here rather than per iteration to keep the scan loop tight.
-	if x.policy == FirstFree && best != -1 {
-		x.cellsSwept += int64(best) + 1
-	} else {
+		// LeastLoaded always sweeps the full row.
 		x.cellsSwept += int64(x.ports)
-	}
-	if best == -1 {
-		x.tel.Failures++
-		if anyFreeRes {
-			// Free resources exist but sit behind busy buses: the
-			// shared output port is the blockage.
-			x.tel.PathBlock++
-		} else {
-			x.tel.ResourceBlock++
+		if best == -1 {
+			x.tel.Failures++
+			if anyFreeRes {
+				x.tel.PathBlock++
+			} else {
+				x.tel.ResourceBlock++
+			}
+			return core.Grant{}, false
 		}
-		return core.Grant{}, false
 	}
 	invariant.Assert(!x.busBusy[best] && x.free[best] > 0, "crossbar",
 		"policy %v granted ineligible port %d (busy=%v free=%d)",
 		x.policy, best, x.busBusy[best], x.free[best])
 	x.busBusy[best] = true
 	x.eligPorts-- // was eligible (asserted above), now its bus is busy
+	x.clearElig(best)
 	x.free[best]--
 	if x.free[best] == 0 {
 		x.freeResPorts--
@@ -190,12 +226,18 @@ func (x *Crossbar) checkAggregates() {
 	}
 	elig, freeRes := 0, 0
 	for j := 0; j < x.ports; j++ {
+		eligible := false
 		if x.free[j] > 0 {
 			freeRes++
 			if !x.busBusy[j] {
 				elig++
+				eligible = true
 			}
 		}
+		bit := x.eligBits[j>>6]&(1<<uint(j&63)) != 0
+		invariant.Assert(bit == eligible, "crossbar",
+			"eligibility bit drifted: port %d bit=%v but busy=%v free=%d",
+			j, bit, x.busBusy[j], x.free[j])
 	}
 	invariant.Assert(elig == x.eligPorts && freeRes == x.freeResPorts, "crossbar",
 		"hinter aggregates drifted: eligPorts=%d (recount %d), freeResPorts=%d (recount %d)",
@@ -210,6 +252,7 @@ func (x *Crossbar) ReleasePath(g core.Grant) {
 	x.busBusy[g.Port] = false
 	if x.free[g.Port] > 0 {
 		x.eligPorts++
+		x.setElig(g.Port)
 	}
 	x.checkAggregates()
 }
@@ -224,6 +267,7 @@ func (x *Crossbar) ReleaseResource(g core.Grant) {
 		x.freeResPorts++
 		if !x.busBusy[g.Port] {
 			x.eligPorts++
+			x.setElig(g.Port)
 		}
 	}
 	x.checkAggregates()

@@ -1,0 +1,64 @@
+package crossbar
+
+import (
+	"testing"
+
+	"rsin/internal/core"
+	"rsin/internal/rng"
+)
+
+// eligScan is the brute-force reference for firstElig: the original
+// row sweep, stopping at the first port with an idle bus and a free
+// resource.
+func eligScan(x *Crossbar) int {
+	for j := 0; j < x.ports; j++ {
+		if !x.busBusy[j] && x.free[j] > 0 {
+			return j
+		}
+	}
+	return -1
+}
+
+// TestEligBitsetRandomWalk churns a crossbar through a random
+// acquire/release-path/release-resource mix and checks, before every
+// operation, that the eligibility bitmap's find-first-set answers
+// exactly what the row sweep would. The 70-port shape makes the bitmap
+// span two words, so cross-word carries are exercised; the package's
+// always-on invariant build additionally recounts the bitmap
+// bit-by-bit inside checkAggregates after every mutation.
+func TestEligBitsetRandomWalk(t *testing.T) {
+	src := rng.New(31)
+	x := New(16, 70, 2)
+	var holdingPath []int // ports whose grant still holds the bus
+	var holdingRes []int  // ports whose grant released the bus, still holds a resource
+	for step := 0; step < 30000; step++ {
+		if want, got := eligScan(x), x.firstElig(); want != got {
+			t.Fatalf("step %d: firstElig = %d, row sweep = %d", step, got, want)
+		}
+		switch op := src.Intn(3); {
+		case op == 0:
+			want := eligScan(x)
+			g, ok := x.Acquire(src.Intn(16))
+			if ok != (want != -1) {
+				t.Fatalf("step %d: Acquire ok=%v but row sweep found port %d", step, ok, want)
+			}
+			if ok {
+				if g.Port != want {
+					t.Fatalf("step %d: Acquire latched port %d, row sweep says %d", step, g.Port, want)
+				}
+				holdingPath = append(holdingPath, g.Port)
+			}
+		case op == 1 && len(holdingPath) > 0:
+			k := src.Intn(len(holdingPath))
+			port := holdingPath[k]
+			holdingPath = append(holdingPath[:k], holdingPath[k+1:]...)
+			x.ReleasePath(core.Grant{Port: port})
+			holdingRes = append(holdingRes, port)
+		case op == 2 && len(holdingRes) > 0:
+			k := src.Intn(len(holdingRes))
+			port := holdingRes[k]
+			holdingRes = append(holdingRes[:k], holdingRes[k+1:]...)
+			x.ReleaseResource(core.Grant{Port: port})
+		}
+	}
+}

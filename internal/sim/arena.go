@@ -1,0 +1,67 @@
+package sim
+
+// taskArena is a struct-of-arrays arena for queued-task records. Every
+// task waiting in a processor FIFO occupies one slot: its arrival time
+// in arrival[i] and the intrusive FIFO link in next[i]. Freed slots are
+// threaded through next into a LIFO free list, so after the arena has
+// grown to the run's peak backlog, alloc and release never touch the
+// heap again — the steady-state zero-allocation property the large-p
+// kernel depends on (and that arena_test.go pins with
+// testing.AllocsPerRun).
+//
+// Slot indices are int32: 2^31 simultaneously queued tasks is far
+// beyond the engine's MaxQueue safety cap (2^20 per processor) times
+// any p this process could hold in memory.
+type taskArena struct {
+	arrival []float64
+	next    []int32 // FIFO successor when live; free-list successor when freed
+	free    int32   // head of the LIFO free list, arenaNil when empty
+	live    int32   // currently allocated slots
+}
+
+// arenaNil is the null slot index for FIFO and free-list links.
+const arenaNil int32 = -1
+
+// newTaskArena returns an arena with capacity hint capHint (it still
+// grows on demand).
+func newTaskArena(capHint int) *taskArena {
+	if capHint < 0 {
+		capHint = 0
+	}
+	return &taskArena{
+		arrival: make([]float64, 0, capHint),
+		next:    make([]int32, 0, capHint),
+		free:    arenaNil,
+	}
+}
+
+// alloc returns a slot holding the given arrival time, with its FIFO
+// link cleared. Freed slots are reused in LIFO order before the arena
+// grows.
+func (a *taskArena) alloc(arrival float64) int32 {
+	a.live++
+	if i := a.free; i != arenaNil {
+		a.free = a.next[i]
+		a.arrival[i] = arrival
+		a.next[i] = arenaNil
+		return i
+	}
+	a.arrival = append(a.arrival, arrival)
+	a.next = append(a.next, arenaNil)
+	return int32(len(a.next) - 1)
+}
+
+// release returns slot i to the free list. The slot's payload is
+// cleared so stale arrival times cannot leak into a later task.
+func (a *taskArena) release(i int32) {
+	a.arrival[i] = 0
+	a.next[i] = a.free
+	a.free = i
+	a.live--
+}
+
+// liveCount returns the number of currently allocated slots.
+func (a *taskArena) liveCount() int { return int(a.live) }
+
+// capSlots returns the total number of slots ever created.
+func (a *taskArena) capSlots() int { return len(a.next) }

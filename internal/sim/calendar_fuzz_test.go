@@ -1,0 +1,68 @@
+package sim
+
+import "testing"
+
+// FuzzCalendarVsHeap drives the calendar queue and the binary event
+// heap side by side through the same operation sequence: every pop must
+// return the identical event from both — same time, same seq, so
+// timestamp ties resolve the same way — and draining at the end must
+// yield the identical sequence. The corpus starts from FuzzEventHeap's
+// seeds (same byte-pair encoding) plus entries that force the calendar
+// through its grow/shrink resizes, the sparse global-minimum fallback,
+// and all-tied degenerate widths.
+func FuzzCalendarVsHeap(f *testing.F) {
+	// FuzzEventHeap's corpus.
+	f.Add([]byte{})
+	f.Add([]byte{0, 10, 2, 0, 4, 5, 1, 0, 1, 0})
+	f.Add([]byte{0, 1, 2, 1, 4, 1, 1, 0, 3, 0, 5, 0})
+	f.Add([]byte{1, 0, 0, 7, 1, 0, 1, 0})
+	// A long push run: crosses the initial growAt threshold (16) twice,
+	// so at least two grow resizes happen before the drain.
+	long := make([]byte, 0, 100)
+	for i := byte(0); i < 50; i++ {
+		long = append(long, i*2, i*5)
+	}
+	f.Add(long)
+	// Wide dynamic range: the op byte selects a time scale, so this mixes
+	// sub-unit spacings with multi-thousand gaps — sparse years between
+	// events force the full-revolution scan and the global-min fallback.
+	f.Add([]byte{0, 1, 2, 200, 4, 3, 6, 255, 1, 0, 1, 0, 1, 0, 1, 0})
+	// All-tied timestamps: degenerate span, width estimation falls back.
+	f.Add([]byte{0, 7, 2, 7, 4, 7, 6, 7, 8, 7, 1, 0, 1, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cal := newCalendarQueue()
+		var h eventHeap
+		var seq uint64
+		for i := 0; i+1 < len(data); i += 2 {
+			op, val := data[i], data[i+1]
+			if op%2 == 0 {
+				// Spread pushes across four time scales so a single input
+				// can mix dense ties with sparse outliers.
+				scale := [4]float64{1, 0.125, 64, 4096}[(op>>1)&3]
+				e := event{time: float64(val) * scale, seq: seq, pid: int(op)}
+				seq++
+				cal.push(e)
+				h.push(e)
+			} else if h.len() > 0 {
+				want := h.pop()
+				got := cal.pop()
+				if got != want {
+					t.Fatalf("pop diverged: calendar %+v, heap %+v", got, want)
+				}
+			}
+			if cal.len() != h.len() {
+				t.Fatalf("count diverged: calendar %d vs heap %d", cal.len(), h.len())
+			}
+		}
+		for h.len() > 0 {
+			want := h.pop()
+			got := cal.pop()
+			if got != want {
+				t.Fatalf("drain diverged: calendar %+v, heap %+v", got, want)
+			}
+		}
+		if cal.len() != 0 {
+			t.Fatalf("calendar retained %d events after heap drained", cal.len())
+		}
+	})
+}

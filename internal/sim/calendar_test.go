@@ -1,0 +1,168 @@
+package sim
+
+import (
+	"testing"
+
+	"rsin/internal/rng"
+)
+
+// TestCalendarTieOrder pins FIFO resolution of timestamp ties: events
+// pushed at the same time must pop in push (seq) order, even when the
+// pushes interleave with pops and other timestamps.
+func TestCalendarTieOrder(t *testing.T) {
+	q := newCalendarQueue()
+	var seq uint64
+	push := func(tm float64) event {
+		e := event{time: tm, seq: seq, pid: int(seq)}
+		seq++
+		q.push(e)
+		return e
+	}
+	a := push(5)
+	b := push(5)
+	push(3)
+	c := push(5)
+	if got := q.pop(); got.time != 3 {
+		t.Fatalf("pop = %+v, want time 3", got)
+	}
+	for i, want := range []event{a, b, c} {
+		if got := q.pop(); got != want {
+			t.Fatalf("tie pop %d = %+v, want %+v", i, got, want)
+		}
+	}
+	if q.len() != 0 {
+		t.Fatalf("len = %d after draining", q.len())
+	}
+}
+
+// TestCalendarRewind pins the cursor reset: after pops have advanced
+// the scan cursor, pushing an earlier event must make it the next pop
+// rather than being orphaned behind the cursor.
+func TestCalendarRewind(t *testing.T) {
+	q := newCalendarQueue()
+	q.push(event{time: 10, seq: 0})
+	q.push(event{time: 20, seq: 1})
+	if got := q.pop(); got.time != 10 {
+		t.Fatalf("pop = %+v, want time 10", got)
+	}
+	// Cursor now sits at t=10's year; schedule into the past.
+	q.push(event{time: 2, seq: 2})
+	if got := q.pop(); got.time != 2 {
+		t.Fatalf("pop after rewind = %+v, want time 2", got)
+	}
+	if got := q.pop(); got.time != 20 {
+		t.Fatalf("final pop = %+v, want time 20", got)
+	}
+}
+
+// TestCalendarGrowShrink walks the population across both resize
+// thresholds and checks the ring geometry tracks it: growth past
+// 2×buckets doubles the ring, draining below buckets/2 shrinks it back,
+// and the floor never drops below calendarMinBuckets. Pop order stays
+// globally sorted throughout.
+func TestCalendarGrowShrink(t *testing.T) {
+	q := newCalendarQueue()
+	const n = 200
+	for i := 0; i < n; i++ {
+		q.push(event{time: float64((i * 37) % n), seq: uint64(i)})
+	}
+	if q.mask+1 < n/2 {
+		t.Fatalf("ring did not grow: %d buckets for %d events", q.mask+1, n)
+	}
+	prev := event{time: -1}
+	for i := 0; i < n; i++ {
+		e := q.pop()
+		if eventLess(e, prev) {
+			t.Fatalf("pop %d regressed: %+v after %+v", i, e, prev)
+		}
+		prev = e
+	}
+	if q.len() != 0 {
+		t.Fatalf("len = %d after drain", q.len())
+	}
+	if q.mask+1 != calendarMinBuckets {
+		t.Fatalf("ring did not shrink back: %d buckets, want %d", q.mask+1, calendarMinBuckets)
+	}
+}
+
+// TestCalendarSparse exercises the global-minimum fallback: events
+// separated by far more than one ring revolution of bucket-years, so
+// the cursor scan finds nothing and must jump.
+func TestCalendarSparse(t *testing.T) {
+	q := newCalendarQueue()
+	times := []float64{0.5, 1e6, 3e9, 7e12}
+	for i, tm := range times {
+		q.push(event{time: tm, seq: uint64(i)})
+	}
+	for i, want := range times {
+		if got := q.pop(); got.time != want {
+			t.Fatalf("sparse pop %d = %g, want %g", i, got.time, want)
+		}
+	}
+}
+
+// TestCalendarDegenerateWidth pins the all-tied resize: when every
+// pending event shares one timestamp the span is zero, width estimation
+// must fall back rather than divide the year by zero, and order (by
+// seq) must survive the redistribution.
+func TestCalendarDegenerateWidth(t *testing.T) {
+	q := newCalendarQueue()
+	const n = 50 // crosses the initial grow threshold mid-stream
+	for i := 0; i < n; i++ {
+		q.push(event{time: 42, seq: uint64(i)})
+	}
+	for i := 0; i < n; i++ {
+		e := q.pop()
+		if e.seq != uint64(i) {
+			t.Fatalf("tied pop %d returned seq %d", i, e.seq)
+		}
+	}
+}
+
+// TestCalendarVsHeapRandom is the always-on property companion to
+// FuzzCalendarVsHeap: a seeded random mix of pushes (exponential gaps
+// around a drifting now, with deliberate ties) and pops, compared
+// element-for-element against the heap. This runs on every `go test`,
+// not just fuzzing runs.
+func TestCalendarVsHeapRandom(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 3} {
+		src := rng.New(seed)
+		cal := newCalendarQueue()
+		var h eventHeap
+		var seq uint64
+		now := 0.0
+		var lastTime float64
+		for step := 0; step < 20000; step++ {
+			switch op := src.Intn(5); {
+			case op < 3 || h.len() == 0: // push-biased mix keeps the queue populated
+				var tm float64
+				if src.Intn(4) == 0 && seq > 0 {
+					tm = lastTime // forced tie
+				} else {
+					tm = now + src.Exp(1)*float64(1+src.Intn(100))
+				}
+				lastTime = tm
+				e := event{time: tm, seq: seq, pid: int(seq)}
+				seq++
+				cal.push(e)
+				h.push(e)
+			default:
+				want := h.pop()
+				got := cal.pop()
+				if got != want {
+					t.Fatalf("seed %d step %d: calendar %+v, heap %+v", seed, step, got, want)
+				}
+				now = want.time // simulator discipline: future pushes ≥ now
+			}
+			if cal.len() != h.len() {
+				t.Fatalf("seed %d step %d: count %d vs %d", seed, step, cal.len(), h.len())
+			}
+		}
+		for h.len() > 0 {
+			want := h.pop()
+			if got := cal.pop(); got != want {
+				t.Fatalf("seed %d drain: calendar %+v, heap %+v", seed, got, want)
+			}
+		}
+	}
+}

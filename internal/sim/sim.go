@@ -100,6 +100,12 @@ type Config struct {
 	// per event. Probes observe the full run including warmup.
 	Probe obs.Probe
 
+	// EventQueue selects the pending-event structure. The default
+	// (EventQueueAuto) uses the calendar queue at p ≥ 64 and the binary
+	// heap below; both pop events in identical (time, seq) order, so
+	// the choice never changes results — only speed. See queue.go.
+	EventQueue EventQueueKind
+
 	// legacyWake selects the pre-incremental wake engine: full rescans
 	// of every processor after each release instead of the blocked-waiter
 	// set. Unexported on purpose — it is reachable only from this
@@ -161,17 +167,23 @@ func (r *Result) DelayQuantile(q float64) float64 {
 // capacity.
 var ErrSaturated = errors.New("sim: queue exceeded MaxQueue; system appears saturated")
 
-type procState struct {
-	queue        []float64 // arrival times of queued tasks (FIFO)
-	transmitting bool
-}
-
 // Run drives net through the workload until Samples post-warmup delays
 // are collected, and returns the measured metrics.
 //
 // net must be idle (freshly constructed): grants held by a previous run
 // are never released by a later one, so reusing a network leaks
 // capacity and biases the measurement toward saturation.
+//
+// The kernel is allocation-free in steady state: processor state lives
+// in struct-of-arrays form (procTable), queued tasks in a free-list
+// arena (taskArena), in-flight grants in the slot-reusing grantTable,
+// and both event-queue implementations retain their capacity — so once
+// the structures have grown to the run's peak backlog, the event loop
+// performs zero heap allocations. arena_test.go pins this with
+// testing.AllocsPerRun and a whole-run malloc-delta check, and the
+// kernel differential matrix in kernel_diff_test.go proves the layout
+// refactor changed no observable byte: Results and obs traces are
+// identical to the retained pre-refactor kernel (runOracle).
 func Run(net core.Network, cfg Config) (res Result, err error) {
 	// Invariant violations inside the network models and accumulators
 	// surface as panics (invariant.Assert, stats.ErrTimeBackwards);
@@ -216,7 +228,7 @@ func Run(net core.Network, cfg Config) (res Result, err error) {
 	}
 	p := net.Processors()
 	src := rng.New(cfg.Seed)
-	procs := make([]procState, p)
+	pt := newProcTable(p, p)
 	grants := newGrantTable()
 
 	// Incremental wake engine state. blocked tracks exactly the
@@ -235,7 +247,7 @@ func Run(net core.Network, cfg Config) (res Result, err error) {
 	}
 
 	var (
-		h         eventHeap
+		q         = newEventQueue(cfg.EventQueue, p)
 		seq       uint64
 		now       float64
 		delays    = stats.NewBatchMeans(int64(cfg.BatchSize))
@@ -256,10 +268,16 @@ func Run(net core.Network, cfg Config) (res Result, err error) {
 		servedTotal  int64
 		inService    int
 	)
+	// Steady-state zero-allocation support: the batch-means slices are
+	// the only unbounded accumulators left, so reserve their full-run
+	// capacity up front (one batch mean per BatchSize samples, plus the
+	// in-progress batch).
+	delays.Reserve(cfg.Samples/cfg.BatchSize + 1)
+	responses.Reserve(cfg.Samples/cfg.BatchSize + 1)
 	schedule := func(e event) {
 		e.seq = seq
 		seq++
-		h.push(e)
+		q.push(e)
 	}
 	setQ := func(delta int) {
 		totalQ += delta
@@ -297,11 +315,9 @@ func Run(net core.Network, cfg Config) (res Result, err error) {
 	// startTx begins transmission for pid's head-of-queue task (already
 	// granted). Returns the queueing delay of the task.
 	startTx := func(pid int, g core.Grant) float64 {
-		ps := &procs[pid]
-		arrivedAt := ps.queue[0]
-		ps.queue = ps.queue[1:]
+		arrivedAt := pt.popFront(pid)
 		setQ(-1)
-		ps.transmitting = true
+		pt.transmitting[pid] = true
 		setBusy(1)
 		gi := grants.put(g, arrivedAt)
 		schedule(event{time: now + src.Exp(cfg.MuN), kind: evTxDone, pid: pid, gidx: gi})
@@ -331,8 +347,7 @@ func Run(net core.Network, cfg Config) (res Result, err error) {
 	// work and is idle, registering pid as a blocked waiter when the
 	// attempt fails and clearing it on a grant.
 	tryStart := func(pid int) bool {
-		ps := &procs[pid]
-		if ps.transmitting || len(ps.queue) == 0 {
+		if pt.transmitting[pid] || pt.qlen[pid] == 0 {
 			return false
 		}
 		if hinter != nil && hinter.AcquireWouldFail(pid) {
@@ -377,8 +392,7 @@ func Run(net core.Network, cfg Config) (res Result, err error) {
 	wakeLegacy := func() {
 		if cfg.RetryJitter > 0 {
 			for pid := 0; pid < p; pid++ {
-				ps := &procs[pid]
-				if retryPend[pid] || ps.transmitting || len(ps.queue) == 0 {
+				if retryPend[pid] || pt.transmitting[pid] || pt.qlen[pid] == 0 {
 					continue
 				}
 				retryPend[pid] = true
@@ -496,10 +510,10 @@ func Run(net core.Network, cfg Config) (res Result, err error) {
 	}
 
 	for collected < cfg.Samples {
-		if h.len() == 0 {
+		if q.len() == 0 {
 			break // λ == 0: nothing will ever happen
 		}
-		e := h.pop()
+		e := q.pop()
 		if invariant.Enabled() {
 			if verr := invariant.NonDecreasing("sim", now, e.time); verr != nil {
 				return Result{}, verr
@@ -515,13 +529,12 @@ func Run(net core.Network, cfg Config) (res Result, err error) {
 		switch e.kind {
 		case evArrival:
 			arrivedTotal++
-			ps := &procs[e.pid]
 			if probe != nil {
 				probe.Event(obs.Event{T: now, Kind: obs.KindArrival, Pid: e.pid, Port: -1})
 			}
-			ps.queue = append(ps.queue, now)
+			pt.push(e.pid, now)
 			setQ(1)
-			if len(ps.queue) >= cfg.MaxQueue {
+			if pt.queued(e.pid) >= cfg.MaxQueue {
 				return Result{}, fmt.Errorf("%w (processor %d, t=%g)", ErrSaturated, e.pid, now)
 			}
 			// The task has joined its processor's queue; report that
@@ -529,15 +542,15 @@ func Run(net core.Network, cfg Config) (res Result, err error) {
 			// order enqueue → grant. Aux is the queue length including
 			// this task.
 			if probe != nil {
-				probe.Event(obs.Event{T: now, Kind: obs.KindEnqueue, Pid: e.pid, Port: -1, Aux: int64(len(ps.queue))})
+				probe.Event(obs.Event{T: now, Kind: obs.KindEnqueue, Pid: e.pid, Port: -1, Aux: int64(pt.queued(e.pid))})
 			}
 			tryStart(e.pid)
 			schedule(event{time: now + src.Exp(rates[e.pid]), kind: evArrival, pid: e.pid})
 		case evTxDone:
 			g := grants.get(e.gidx)
 			net.ReleasePath(g)
-			procs[e.pid].transmitting = false
-			if len(procs[e.pid].queue) > 0 {
+			pt.transmitting[e.pid] = false
+			if pt.qlen[e.pid] > 0 {
 				// The processor turned idle with work still queued: it
 				// is now a blocked waiter (its next task has not been
 				// granted), so register it before the wake below.
@@ -576,7 +589,10 @@ func Run(net core.Network, cfg Config) (res Result, err error) {
 			tryStart(e.pid)
 		}
 		if invariant.Enabled() {
-			if verr := blockedInvariant(procs, blocked); verr != nil {
+			if verr := blockedInvariant(pt, blocked); verr != nil {
+				return Result{}, verr
+			}
+			if verr := pt.checkChains(); verr != nil {
 				return Result{}, verr
 			}
 		}

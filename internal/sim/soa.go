@@ -1,0 +1,110 @@
+package sim
+
+import "rsin/internal/invariant"
+
+// procTable is the struct-of-arrays processor state of the simulation
+// kernel. The old kernel kept a []procState of per-processor structs,
+// each owning a growable []float64 of queued arrival times; popping the
+// head re-sliced the front away, so a steady-state run re-allocated and
+// copied every queue over and over, and a wake pass touching many
+// processors hopped between scattered slice headers. Here the hot
+// per-processor fields live in parallel arrays (one cache line covers
+// 16 processors' queue lengths), and the queued tasks themselves are
+// intrusive FIFO chains through a shared taskArena — no per-task
+// allocation, no copying, LIFO slot reuse.
+//
+// The FIFO semantics are exactly the old slice semantics: push appends
+// at the tail, popFront removes at the head, arrival times come back in
+// insertion order.
+type procTable struct {
+	transmitting []bool
+	qhead        []int32 // arena index of the FIFO head, arenaNil when empty
+	qtail        []int32 // arena index of the FIFO tail, arenaNil when empty
+	qlen         []int32
+	arena        *taskArena
+}
+
+// newProcTable returns an idle table for p processors. capHint sizes
+// the shared arena (it still grows on demand).
+func newProcTable(p, capHint int) *procTable {
+	pt := &procTable{
+		transmitting: make([]bool, p),
+		qhead:        make([]int32, p),
+		qtail:        make([]int32, p),
+		qlen:         make([]int32, p),
+		arena:        newTaskArena(capHint),
+	}
+	for i := 0; i < p; i++ {
+		pt.qhead[i] = arenaNil
+		pt.qtail[i] = arenaNil
+	}
+	return pt
+}
+
+// push appends a task with the given arrival time to pid's FIFO.
+func (pt *procTable) push(pid int, arrival float64) {
+	i := pt.arena.alloc(arrival)
+	if tail := pt.qtail[pid]; tail != arenaNil {
+		pt.arena.next[tail] = i
+	} else {
+		pt.qhead[pid] = i
+	}
+	pt.qtail[pid] = i
+	pt.qlen[pid]++
+}
+
+// popFront removes pid's head-of-queue task and returns its arrival
+// time. The queue must be nonempty.
+func (pt *procTable) popFront(pid int) float64 {
+	i := pt.qhead[pid]
+	arrival := pt.arena.arrival[i]
+	next := pt.arena.next[i]
+	pt.qhead[pid] = next
+	if next == arenaNil {
+		pt.qtail[pid] = arenaNil
+	}
+	pt.qlen[pid]--
+	pt.arena.release(i)
+	return arrival
+}
+
+// queued returns the number of tasks waiting in pid's FIFO.
+func (pt *procTable) queued(pid int) int { return int(pt.qlen[pid]) }
+
+// blocked reports the blocked-waiter predicate for pid: idle with a
+// nonempty queue.
+func (pt *procTable) blocked(pid int) bool {
+	return !pt.transmitting[pid] && pt.qlen[pid] > 0
+}
+
+// checkChains recounts every FIFO chain from the ground-truth links and
+// pins the qlen/qtail bookkeeping and the arena's live count to it.
+// It is the SoA layer's brute-force oracle, run per event under the
+// invariant build alongside blockedInvariant.
+func (pt *procTable) checkChains() error {
+	total := 0
+	for pid := range pt.qhead {
+		n, last := 0, arenaNil
+		for i := pt.qhead[pid]; i != arenaNil; i = pt.arena.next[i] {
+			n++
+			last = i
+			if n > pt.arena.capSlots() {
+				return invariant.Errorf("sim", "processor %d queue chain is cyclic", pid)
+			}
+		}
+		if n != int(pt.qlen[pid]) {
+			return invariant.Errorf("sim",
+				"processor %d queue length drift: chain %d, qlen %d", pid, n, pt.qlen[pid])
+		}
+		if last != pt.qtail[pid] {
+			return invariant.Errorf("sim",
+				"processor %d tail drift: chain ends at %d, qtail %d", pid, last, pt.qtail[pid])
+		}
+		total += n
+	}
+	if total != pt.arena.liveCount() {
+		return invariant.Errorf("sim",
+			"arena live-count drift: %d queued tasks, %d live slots", total, pt.arena.liveCount())
+	}
+	return nil
+}

@@ -82,10 +82,10 @@ func (ws *waiterSet) next(from int) int {
 // member iff it is idle with a nonempty queue. Run after every event
 // under the invariant build (invariant.Enabled), it is the brute-force
 // oracle the bitset bookkeeping must match.
-func blockedInvariant(procs []procState, ws *waiterSet) error {
+func blockedInvariant(pt *procTable, ws *waiterSet) error {
 	count := 0
-	for pid := range procs {
-		blocked := !procs[pid].transmitting && len(procs[pid].queue) > 0
+	for pid := range pt.transmitting {
+		blocked := pt.blocked(pid)
 		if blocked {
 			count++
 		}

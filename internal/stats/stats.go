@@ -192,6 +192,19 @@ func (b *BatchMeans) Add(x float64) {
 	}
 }
 
+// Reserve pre-sizes the accumulator for n completed batches, so a
+// caller that knows its sample budget (the simulation kernel, whose
+// steady-state event loop must not allocate) pays for the batch slice
+// once up front. Reserving less than what is eventually added is
+// harmless — the slice grows as usual.
+func (b *BatchMeans) Reserve(n int) {
+	if n > cap(b.batches) {
+		grown := make([]float64, len(b.batches), n)
+		copy(grown, b.batches)
+		b.batches = grown
+	}
+}
+
 // Batches returns the number of completed batches.
 func (b *BatchMeans) Batches() int { return len(b.batches) }
 

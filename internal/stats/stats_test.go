@@ -393,3 +393,43 @@ func TestLog2HistogramConstructorPanics(t *testing.T) {
 	}()
 	NewLog2Histogram(3, 3)
 }
+
+// TestBatchMeansReserve pins Reserve's contract: results are identical
+// with and without it, existing batches survive it, under-reserving is
+// harmless, and Adds within the reserved capacity never allocate —
+// the property the simulation kernel's zero-allocation steady state
+// rests on.
+func TestBatchMeansReserve(t *testing.T) {
+	src := rng.New(17)
+	plain := NewBatchMeans(10)
+	reserved := NewBatchMeans(10)
+	reserved.Reserve(50)
+	var obs []float64
+	for i := 0; i < 500; i++ {
+		obs = append(obs, src.Exp(1))
+	}
+	// Reserve mid-stream too: existing batches must survive.
+	for i, x := range obs {
+		plain.Add(x)
+		reserved.Add(x)
+		if i == 99 {
+			reserved.Reserve(40) // under cap: no-op
+			reserved.Reserve(50) // at cap: no-op
+		}
+	}
+	if plain.Batches() != reserved.Batches() {
+		t.Fatalf("batch counts diverged: %d vs %d", plain.Batches(), reserved.Batches())
+	}
+	pi, ri := plain.Interval(0.95), reserved.Interval(0.95)
+	if pi != ri {
+		t.Errorf("intervals diverged: %v vs %v", pi, ri)
+	}
+
+	b := NewBatchMeans(4)
+	b.Reserve(100)
+	if avg := testing.AllocsPerRun(100, func() {
+		b.Add(1) // 100 runs × 1 obs = 25 batches, within the reserve
+	}); avg != 0 {
+		t.Errorf("Add within reserved capacity allocates %g allocs/run, want 0", avg)
+	}
+}
