@@ -1,28 +1,37 @@
 // Command rsinlint runs the project's static analyzers over packages
 // of this module: the determinism suite (norand, noclock, maporder,
-// seedflow) and the dataflow suite (floatsafe, errflow, sharedstate,
+// seedflow), the dataflow suite (floatsafe, errflow, sharedstate,
 // probrange) built on the internal CFG and reaching-definitions
-// engine. It is built only on the standard library — no
-// golang.org/x/tools — so it works in the dependency-free build
-// environment.
+// engine, and the interprocedural suite (hotalloc) built on the
+// whole-module call graph and function summaries. It is built only on
+// the standard library — no golang.org/x/tools — so it works in the
+// dependency-free build environment.
 //
 // Usage:
 //
-//	go run ./cmd/rsinlint [-tags taglist] [-json] [packages]
+//	go run ./cmd/rsinlint [-tags taglist] [-json] [-analyzers list] [-callgraph-dot file] [packages]
 //	go run ./cmd/rsinlint -explain <analyzer>
 //
 // Package patterns are module-relative ("./...", "./internal/sim");
 // the default is "./...". The exit status is 1 if any finding
 // survived suppression, 2 on operational errors.
 //
+// -analyzers restricts the run to a comma-separated subset of the
+// analyzer names (unknown names are an error). -callgraph-dot writes
+// the interprocedural call graph, with hot-path nodes highlighted, in
+// Graphviz DOT form for debugging.
+//
 // Findings can be suppressed at the reporting site with a directive
 // on the same line or the line above:
 //
 //	//lint:ignore <analyzer>[,<analyzer>] <reason>
 //
-// Malformed directives, directives naming unknown analyzers, and
-// directives that no longer suppress anything are themselves reported
-// (as analyzer "suppression") and cannot be suppressed.
+// The same directive in a function declaration's doc comment
+// suppresses matching findings in the whole function — the natural
+// granularity for hotalloc's transitive findings. Malformed
+// directives, directives naming unknown analyzers, and directives
+// that no longer suppress anything are themselves reported (as
+// analyzer "suppression") and cannot be suppressed.
 //
 // With -json the findings are emitted as a single JSON object:
 //
@@ -50,6 +59,8 @@ func main() {
 	tags := flag.String("tags", "", "comma-separated build tags to apply when selecting files")
 	jsonOut := flag.Bool("json", false, "emit findings as a JSON object on stdout")
 	explain := flag.String("explain", "", "print the documentation of one analyzer and exit")
+	subset := flag.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
+	dotFile := flag.String("callgraph-dot", "", "write the interprocedural call graph to this file in Graphviz DOT form")
 	flag.Usage = usage
 	flag.Parse()
 	if *explain != "" {
@@ -59,7 +70,7 @@ func main() {
 		}
 		return
 	}
-	if err := run(*tags, *jsonOut, flag.Args()); err != nil {
+	if err := run(*tags, *jsonOut, *subset, *dotFile, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "rsinlint:", err)
 		os.Exit(2)
 	}
@@ -67,7 +78,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintf(flag.CommandLine.Output(),
-		"usage: rsinlint [-tags taglist] [-json] [packages]\n"+
+		"usage: rsinlint [-tags taglist] [-json] [-analyzers list] [-callgraph-dot file] [packages]\n"+
 			"       rsinlint -explain <analyzer>\n\nflags:\n")
 	flag.PrintDefaults()
 	fmt.Fprintf(flag.CommandLine.Output(), "\nanalyzers:\n")
@@ -101,6 +112,52 @@ func runExplain(name string) error {
 	return fmt.Errorf("unknown analyzer %q (run with -h for the list)", name)
 }
 
+// selectAnalyzers resolves the -analyzers flag against the full set.
+func selectAnalyzers(subset string) ([]*lint.Analyzer, error) {
+	all := lint.All()
+	if subset == "" {
+		return all, nil
+	}
+	byName := map[string]*lint.Analyzer{}
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*lint.Analyzer
+	seen := map[string]bool{}
+	for _, name := range strings.Split(subset, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q in -analyzers (run with -h for the list)", name)
+		}
+		if !seen[name] {
+			seen[name] = true
+			out = append(out, a)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-analyzers selected nothing")
+	}
+	return out, nil
+}
+
+// writeDOT dumps the interprocedural call graph (hot nodes highlighted)
+// as a Graphviz artifact for debugging.
+func writeDOT(uni *lint.Universe, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := uni.Graph.WriteDOT(f, nil); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 // finding is the JSON shape of one surviving diagnostic.
 type finding struct {
 	File     string `json:"file"`
@@ -115,9 +172,13 @@ type report struct {
 	Suppressed int       `json:"suppressed"`
 }
 
-func run(tags string, jsonOut bool, patterns []string) error {
+func run(tags string, jsonOut bool, subset, dotFile string, patterns []string) error {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
+	}
+	analyzers, err := selectAnalyzers(subset)
+	if err != nil {
+		return err
 	}
 	cwd, err := os.Getwd()
 	if err != nil {
@@ -141,19 +202,32 @@ func run(tags string, jsonOut bool, patterns []string) error {
 	if len(paths) == 0 {
 		return fmt.Errorf("no packages match %v", patterns)
 	}
-	analyzers := lint.All()
-	known := lint.KnownAnalyzers(analyzers)
-	out := report{Findings: []finding{}}
+	// Load everything first: the interprocedural universe (call graph,
+	// summaries, hotpath marks) is built once over the whole target set
+	// plus its module-local dependencies, then shared by every pass.
+	pkgs := make([]*lint.Package, 0, len(paths))
 	for _, path := range paths {
 		pkg, err := loader.Load(path)
 		if err != nil {
 			return err
 		}
-		diags, err := lint.Run(pkg, loader.Fset, analyzers)
+		pkgs = append(pkgs, pkg)
+	}
+	uni := lint.NewUniverse(loader)
+	if dotFile != "" {
+		if err := writeDOT(uni, dotFile); err != nil {
+			return err
+		}
+	}
+	known := lint.KnownAnalyzers(lint.All())
+	ran := lint.KnownAnalyzers(analyzers)
+	out := report{Findings: []finding{}}
+	for _, pkg := range pkgs {
+		diags, err := lint.Run(pkg, loader.Fset, analyzers, uni)
 		if err != nil {
 			return err
 		}
-		diags, suppressed := lint.ApplySuppressions(pkg, loader.Fset, diags, known)
+		diags, suppressed := lint.ApplySuppressions(pkg, loader.Fset, diags, known, ran)
 		out.Suppressed += suppressed
 		for _, d := range diags {
 			name := d.Pos.Filename

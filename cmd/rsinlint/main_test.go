@@ -1,0 +1,59 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"rsin/internal/lint"
+)
+
+func TestSelectAnalyzersDefault(t *testing.T) {
+	got, err := selectAnalyzers("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(lint.All()) {
+		t.Errorf("empty flag selects %d analyzers, want all %d", len(got), len(lint.All()))
+	}
+}
+
+func TestSelectAnalyzersSubset(t *testing.T) {
+	got, err := selectAnalyzers(" hotalloc , noclock ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Name != "hotalloc" || got[1].Name != "noclock" {
+		t.Fatalf("subset selection = %v, want [hotalloc noclock] in flag order", names(got))
+	}
+}
+
+func TestSelectAnalyzersDedup(t *testing.T) {
+	got, err := selectAnalyzers("hotalloc,hotalloc,hotalloc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Errorf("repeated name selected %v, want one instance", names(got))
+	}
+}
+
+func TestSelectAnalyzersUnknown(t *testing.T) {
+	_, err := selectAnalyzers("hotalloc,nosuchcheck")
+	if err == nil || !strings.Contains(err.Error(), "nosuchcheck") {
+		t.Errorf("unknown name must error and name the offender, got %v", err)
+	}
+}
+
+func TestSelectAnalyzersEmptySelection(t *testing.T) {
+	if _, err := selectAnalyzers(" , ,"); err == nil {
+		t.Error("a flag value selecting nothing must error")
+	}
+}
+
+func names(as []*lint.Analyzer) []string {
+	out := make([]string, len(as))
+	for i, a := range as {
+		out[i] = a.Name
+	}
+	return out
+}

@@ -40,6 +40,8 @@ func New(processors, resources int) *Bus {
 
 // Acquire implements core.Network. It succeeds when the bus is idle and
 // a free resource exists, reserving both.
+//
+//lint:hotpath called once per allocation attempt in the event loop
 func (b *Bus) Acquire(pid int) (core.Grant, bool) {
 	if pid < 0 || pid >= b.processors {
 		panic(fmt.Sprintf("bus: processor %d out of range", pid))
@@ -65,6 +67,8 @@ func (b *Bus) Acquire(pid int) (core.Grant, bool) {
 // Acquire outcome outright, so the hint is exact. A hopeless probe is
 // accounted in telemetry exactly as Acquire's failure path would have,
 // per the interface contract.
+//
+//lint:hotpath probed by every wake pass
 func (b *Bus) AcquireWouldFail(pid int) bool {
 	if pid < 0 || pid >= b.processors {
 		panic(fmt.Sprintf("bus: processor %d out of range", pid))
@@ -84,6 +88,8 @@ func (b *Bus) AcquireWouldFail(pid int) bool {
 
 // ReleasePath implements core.Network: transmission finished, the bus
 // becomes free while the resource starts service.
+//
+//lint:hotpath
 func (b *Bus) ReleasePath(core.Grant) {
 	if !b.busBusy {
 		panic("bus: ReleasePath with idle bus")
@@ -92,6 +98,8 @@ func (b *Bus) ReleasePath(core.Grant) {
 }
 
 // ReleaseResource implements core.Network: service finished.
+//
+//lint:hotpath
 func (b *Bus) ReleaseResource(core.Grant) {
 	if b.free >= b.resources {
 		panic("bus: ReleaseResource overflow")

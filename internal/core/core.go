@@ -185,6 +185,8 @@ type partGrant struct {
 }
 
 // Acquire implements Network by delegating to pid's partition.
+//
+//lint:hotpath called once per allocation attempt in the event loop
 func (p *Partitioned) Acquire(pid int) (Grant, bool) {
 	sub := pid / p.perSub
 	if sub < 0 || sub >= len(p.subs) {
@@ -199,6 +201,7 @@ func (p *Partitioned) Acquire(pid int) (Grant, bool) {
 		pg = p.grantPool[n-1]
 		p.grantPool = p.grantPool[:n-1]
 	} else {
+		//lint:ignore hotalloc cold-pool mint, amortized to zero once the pool warms; pinned by TestRunSteadyStateZeroAlloc
 		pg = new(partGrant)
 	}
 	pg.sub, pg.inner = sub, g
@@ -214,6 +217,8 @@ func (p *Partitioned) Acquire(pid int) (Grant, bool) {
 // sub-network can only unblock that sub-network's processors — this is
 // exactly the retry-set narrowing the engine wants. A sub-network
 // without a hint answers false (the engine falls back to Acquire).
+//
+//lint:hotpath probed by every wake pass
 func (p *Partitioned) AcquireWouldFail(pid int) bool {
 	sub := pid / p.perSub
 	if sub < 0 || sub >= len(p.subs) {
@@ -226,6 +231,8 @@ func (p *Partitioned) AcquireWouldFail(pid int) bool {
 }
 
 // ReleasePath implements Network.
+//
+//lint:hotpath
 func (p *Partitioned) ReleasePath(g Grant) {
 	pg := g.Path.(*partGrant)
 	p.subs[pg.sub].ReleasePath(pg.inner)
@@ -233,9 +240,12 @@ func (p *Partitioned) ReleasePath(g Grant) {
 
 // ReleaseResource implements Network. This is the grant's final use
 // (see grantPool), so the partGrant record is recycled here.
+//
+//lint:hotpath
 func (p *Partitioned) ReleaseResource(g Grant) {
 	pg := g.Path.(*partGrant)
 	p.subs[pg.sub].ReleaseResource(pg.inner)
+	//lint:ignore hotalloc pool append reuses capacity after warm-up; pinned by TestRunSteadyStateZeroAlloc
 	p.grantPool = append(p.grantPool, pg)
 }
 

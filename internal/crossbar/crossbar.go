@@ -106,12 +106,18 @@ func NewWithPolicy(processors, ports, perPort int, policy PortPolicy) *Crossbar 
 }
 
 // setElig marks port j eligible in the bitmap.
+//
+//lint:hotpath
 func (x *Crossbar) setElig(j int) { x.eligBits[j>>6] |= 1 << uint(j&63) }
 
 // clearElig marks port j ineligible in the bitmap.
+//
+//lint:hotpath
 func (x *Crossbar) clearElig(j int) { x.eligBits[j>>6] &^= 1 << uint(j&63) }
 
 // firstElig returns the lowest eligible port, or -1 when none is.
+//
+//lint:hotpath
 func (x *Crossbar) firstElig() int {
 	for w, word := range x.eligBits {
 		if word != 0 {
@@ -123,6 +129,8 @@ func (x *Crossbar) firstElig() int {
 
 // Acquire implements core.Network: connect pid to an eligible port per
 // the policy, reserving the bus and one resource.
+//
+//lint:hotpath called once per allocation attempt in the event loop
 func (x *Crossbar) Acquire(pid int) (core.Grant, bool) {
 	if pid < 0 || pid >= x.processors {
 		panic(fmt.Sprintf("crossbar: processor %d out of range", pid))
@@ -199,6 +207,8 @@ func (x *Crossbar) Acquire(pid int) (core.Grant, bool) {
 // probe replicates Acquire's failure telemetry bit for bit, including
 // the full-row cellsSwept charge: the hardware wavefront still crosses
 // every cell of the row before the row's reject line asserts.
+//
+//lint:hotpath probed by every wake pass
 func (x *Crossbar) AcquireWouldFail(pid int) bool {
 	if pid < 0 || pid >= x.processors {
 		panic(fmt.Sprintf("crossbar: processor %d out of range", pid))
@@ -245,6 +255,8 @@ func (x *Crossbar) checkAggregates() {
 }
 
 // ReleasePath implements core.Network.
+//
+//lint:hotpath
 func (x *Crossbar) ReleasePath(g core.Grant) {
 	if !x.busBusy[g.Port] {
 		panic("crossbar: ReleasePath with idle bus")
@@ -258,6 +270,8 @@ func (x *Crossbar) ReleasePath(g core.Grant) {
 }
 
 // ReleaseResource implements core.Network.
+//
+//lint:hotpath
 func (x *Crossbar) ReleaseResource(g core.Grant) {
 	if x.free[g.Port] >= x.perPort {
 		panic("crossbar: ReleaseResource overflow")

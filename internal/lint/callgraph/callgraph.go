@@ -1,0 +1,664 @@
+// Package callgraph builds an AST-level call graph over the packages of
+// the rsin module, using only the standard library's go/ast and
+// go/types. It is the interprocedural substrate of the lint framework:
+// the summary package folds per-function facts bottom-up over this
+// graph's strongly connected components, and the hotalloc / noclock /
+// seedflow analyzers consult the resolved edges at call sites.
+//
+// Resolution strategy, in decreasing precision:
+//
+//   - Direct calls (pkg.F, local f, method calls on concrete receivers)
+//     resolve to the callee's declaration: EdgeStatic.
+//   - Calls through a local variable that is bound exactly once to a
+//     function literal and never reassigned resolve to that literal:
+//     EdgeClosure. This covers the event kernel's idiom of binding its
+//     inner loop helpers (schedule, tryStart, wake, …) as closures.
+//   - Interface method calls resolve by class hierarchy analysis: every
+//     named type in the analyzed universe that implements the interface
+//     contributes one EdgeInterface to its method. For interfaces
+//     defined inside the module this is a closed world — the module's
+//     packages are all loaded — so the edge set is exhaustive.
+//   - Calls through interfaces defined outside the module, and calls of
+//     arbitrary function values (parameters, struct fields, map
+//     entries), cannot be closed over and yield a single EdgeDynamic.
+//   - Calls whose callee lives outside the universe (standard library)
+//     yield EdgeExternal carrying the callee's *types.Func.
+//
+// Conversions and builtins (append, make, copy, panic, …) produce no
+// edges: they are operations, not calls, and are classified by the
+// summary package's operation scanner.
+package callgraph
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"io"
+	"path/filepath"
+	"sort"
+)
+
+// SourcePkg is the loader-independent view of one parsed, type-checked
+// package (the lint loader's Package satisfies it structurally).
+type SourcePkg struct {
+	Path  string
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// EdgeKind classifies how a call site was resolved.
+type EdgeKind int
+
+const (
+	// EdgeStatic is a direct call to a declared function or a method
+	// call on a concrete receiver.
+	EdgeStatic EdgeKind = iota
+	// EdgeClosure is a call through a local variable bound once to a
+	// function literal.
+	EdgeClosure
+	// EdgeInterface is an interface method call resolved to one
+	// implementation by class hierarchy analysis.
+	EdgeInterface
+	// EdgeExternal is a call to a function outside the universe (the
+	// standard library); Ext carries the callee.
+	EdgeExternal
+	// EdgeDynamic is an indirect call that cannot be resolved (function
+	// value, externally defined interface).
+	EdgeDynamic
+)
+
+// String names the kind for DOT export and diagnostics.
+func (k EdgeKind) String() string {
+	switch k {
+	case EdgeStatic:
+		return "static"
+	case EdgeClosure:
+		return "closure"
+	case EdgeInterface:
+		return "interface"
+	case EdgeExternal:
+		return "external"
+	case EdgeDynamic:
+		return "dynamic"
+	default:
+		return fmt.Sprintf("EdgeKind(%d)", int(k))
+	}
+}
+
+// Node is one function in the graph: a declared function/method or a
+// function literal.
+type Node struct {
+	// Func is the declared function's type object; nil for literals.
+	Func *types.Func
+	// Decl is the declaration; nil for literals.
+	Decl *ast.FuncDecl
+	// Lit is the function literal; nil for declared functions.
+	Lit *ast.FuncLit
+	// Name is the diagnostic name: "sim.Run", "(*Omega).route",
+	// "sim.Run$tryStart" for a closure bound to tryStart.
+	Name string
+	// Pkg is the owning package.
+	Pkg *SourcePkg
+	// Edges are the node's outgoing calls in source order.
+	Edges []Edge
+	// Hot records a //lint:hotpath annotation (set by the lint layer).
+	Hot bool
+	// SCC is the index of the node's strongly connected component in
+	// Graph.SCCs. Components are ordered callees-first, so iterating
+	// SCCs in order visits every callee component before its callers.
+	SCC int
+
+	index, lowlink int
+	onStack        bool
+}
+
+// Body returns the node's function body (nil for bodiless decls).
+func (n *Node) Body() *ast.BlockStmt {
+	if n.Lit != nil {
+		return n.Lit.Body
+	}
+	return n.Decl.Body
+}
+
+// Pos returns the node's declaration position.
+func (n *Node) Pos() token.Pos {
+	if n.Lit != nil {
+		return n.Lit.Pos()
+	}
+	return n.Decl.Pos()
+}
+
+// Signature returns the node's function signature.
+func (n *Node) Signature(info *types.Info) *types.Signature {
+	if n.Func != nil {
+		return n.Func.Type().(*types.Signature)
+	}
+	if tv, ok := info.Types[n.Lit]; ok {
+		if sig, ok := tv.Type.(*types.Signature); ok {
+			return sig
+		}
+	}
+	return nil
+}
+
+// Edge is one resolved call.
+type Edge struct {
+	Call *ast.CallExpr
+	Kind EdgeKind
+	// Callee is the target node (nil for EdgeExternal / EdgeDynamic).
+	Callee *Node
+	// Ext is the out-of-universe callee for EdgeExternal.
+	Ext *types.Func
+}
+
+// Graph is the call graph over a set of packages.
+type Graph struct {
+	// Nodes in deterministic order: packages by path, then source
+	// position.
+	Nodes []*Node
+	// ByFunc, ByDecl, ByLit index the nodes.
+	ByFunc map[*types.Func]*Node
+	ByDecl map[*ast.FuncDecl]*Node
+	ByLit  map[*ast.FuncLit]*Node
+	// Calls maps every call expression in the universe to its resolved
+	// edges (one per CHA target for interface calls). Conversions and
+	// builtins are absent.
+	Calls map[*ast.CallExpr][]Edge
+	// SCCs are the strongly connected components in callees-first
+	// (reverse topological) order.
+	SCCs [][]*Node
+
+	fset *token.FileSet
+	pkgs []*SourcePkg
+}
+
+// Build constructs the call graph of pkgs. The packages should be the
+// complete set loaded from the module (plus any testdata packages under
+// virtual paths): class hierarchy analysis treats them as a closed
+// world for interfaces they define.
+func Build(fset *token.FileSet, pkgs []*SourcePkg) *Graph {
+	g := &Graph{
+		ByFunc: map[*types.Func]*Node{},
+		ByDecl: map[*ast.FuncDecl]*Node{},
+		ByLit:  map[*ast.FuncLit]*Node{},
+		Calls:  map[*ast.CallExpr][]Edge{},
+		fset:   fset,
+		pkgs:   append([]*SourcePkg(nil), pkgs...),
+	}
+	sort.Slice(g.pkgs, func(i, j int) bool { return g.pkgs[i].Path < g.pkgs[j].Path })
+
+	for _, p := range g.pkgs {
+		g.collectNodes(p)
+	}
+	cha := newCHA(g.pkgs)
+	for _, p := range g.pkgs {
+		g.resolveCalls(p, cha)
+	}
+	g.condense()
+	return g
+}
+
+// collectNodes creates a node per function declaration and per function
+// literal of p, naming literals after the enclosing declaration plus
+// the variable they are bound to (or their ordinal).
+func (g *Graph) collectNodes(p *SourcePkg) {
+	short := p.Pkg.Name()
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, _ := p.Info.Defs[fd.Name].(*types.Func)
+			name := short + "." + fd.Name.Name
+			if fd.Recv != nil && len(fd.Recv.List) > 0 {
+				name = short + "." + recvString(fd.Recv.List[0].Type) + "." + fd.Name.Name
+			}
+			n := &Node{Func: obj, Decl: fd, Name: name, Pkg: p}
+			g.Nodes = append(g.Nodes, n)
+			if obj != nil {
+				g.ByFunc[obj] = n
+			}
+			g.ByDecl[fd] = n
+
+			// Literals inside this declaration, in source order.
+			ordinal := 0
+			parent := n.Name
+			ast.Inspect(fd.Body, func(nd ast.Node) bool {
+				lit, ok := nd.(*ast.FuncLit)
+				if !ok {
+					return true
+				}
+				ordinal++
+				ln := &Node{Lit: lit, Name: fmt.Sprintf("%s$%d", parent, ordinal), Pkg: p}
+				if bound := bindingName(f, lit); bound != "" {
+					ln.Name = parent + "$" + bound
+				}
+				g.Nodes = append(g.Nodes, ln)
+				g.ByLit[lit] = ln
+				return true
+			})
+		}
+	}
+}
+
+// recvString renders a receiver type expression ("*Omega" → "(*Omega)").
+func recvString(e ast.Expr) string {
+	switch t := e.(type) {
+	case *ast.StarExpr:
+		return "(*" + recvString(t.X) + ")"
+	case *ast.Ident:
+		return t.Name
+	case *ast.IndexExpr: // generic receiver
+		return recvString(t.X)
+	case *ast.IndexListExpr:
+		return recvString(t.X)
+	default:
+		return "?"
+	}
+}
+
+// bindingName returns the variable name a literal is bound to when the
+// binding is the idiomatic `name := func(...) {...}` (or var form), and
+// "" otherwise.
+func bindingName(f *ast.File, lit *ast.FuncLit) string {
+	name := ""
+	ast.Inspect(f, func(nd ast.Node) bool {
+		switch s := nd.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range s.Rhs {
+				if rhs == lit && i < len(s.Lhs) {
+					if id, ok := s.Lhs[i].(*ast.Ident); ok {
+						name = id.Name
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for i, v := range s.Values {
+				if v == lit && i < len(s.Names) {
+					name = s.Names[i].Name
+				}
+			}
+		}
+		return name == ""
+	})
+	return name
+}
+
+// cha is the class-hierarchy index: every named non-interface type of
+// the universe, used to enumerate the implementations of an interface.
+type cha struct {
+	concrete []*types.Named // sorted by full name for determinism
+	modPkgs  map[*types.Package]bool
+}
+
+func newCHA(pkgs []*SourcePkg) *cha {
+	c := &cha{modPkgs: map[*types.Package]bool{}}
+	seen := map[*types.Named]bool{}
+	for _, p := range pkgs {
+		c.modPkgs[p.Pkg] = true
+		scope := p.Pkg.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok || types.IsInterface(named) || seen[named] {
+				continue
+			}
+			seen[named] = true
+			c.concrete = append(c.concrete, named)
+		}
+	}
+	sort.Slice(c.concrete, func(i, j int) bool {
+		return c.concrete[i].String() < c.concrete[j].String()
+	})
+	return c
+}
+
+// implementations returns the methods implementing iface's method m
+// across the universe's concrete types.
+func (c *cha) implementations(iface *types.Interface, m *types.Func) []*types.Func {
+	var out []*types.Func
+	for _, named := range c.concrete {
+		var recv types.Type = named
+		if !types.Implements(recv, iface) {
+			recv = types.NewPointer(named)
+			if !types.Implements(recv, iface) {
+				continue
+			}
+		}
+		obj, _, _ := types.LookupFieldOrMethod(recv, true, m.Pkg(), m.Name())
+		if fn, ok := obj.(*types.Func); ok {
+			out = append(out, fn)
+		}
+	}
+	return out
+}
+
+// moduleDefined reports whether the interface's defining package is in
+// the universe (closed world) — anonymous interfaces composed in module
+// source count as module-defined.
+func (c *cha) moduleDefined(t types.Type, usingPkg *types.Package) bool {
+	if named, ok := t.(*types.Named); ok {
+		return c.modPkgs[named.Obj().Pkg()]
+	}
+	// Unnamed interface type written in module source.
+	return c.modPkgs[usingPkg]
+}
+
+// closureBindings maps local objects bound exactly once to a function
+// literal (and never reassigned) to that literal.
+func closureBindings(p *SourcePkg) map[types.Object]*ast.FuncLit {
+	bound := map[types.Object]*ast.FuncLit{}
+	dead := map[types.Object]bool{}
+	note := func(lhs ast.Expr, rhs ast.Expr, define bool) {
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			return
+		}
+		var obj types.Object
+		if define {
+			obj = p.Info.Defs[id]
+		} else {
+			obj = p.Info.Uses[id]
+		}
+		if obj == nil {
+			return
+		}
+		if lit, ok := rhs.(*ast.FuncLit); ok && bound[obj] == nil && !dead[obj] {
+			bound[obj] = lit
+			return
+		}
+		// Any other assignment (or a second one) disqualifies the var.
+		dead[obj] = true
+		delete(bound, obj)
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(nd ast.Node) bool {
+			switch s := nd.(type) {
+			case *ast.AssignStmt:
+				if len(s.Lhs) == len(s.Rhs) {
+					for i := range s.Lhs {
+						note(s.Lhs[i], s.Rhs[i], s.Tok == token.DEFINE)
+					}
+				} else {
+					for _, lhs := range s.Lhs {
+						note(lhs, nil, s.Tok == token.DEFINE)
+					}
+				}
+			case *ast.ValueSpec:
+				for i, n := range s.Names {
+					var rhs ast.Expr
+					if i < len(s.Values) {
+						rhs = s.Values[i]
+					}
+					note(n, rhs, true)
+				}
+			case *ast.UnaryExpr:
+				// &f of a closure var could let callers reassign it.
+				if s.Op == token.AND {
+					if id, ok := s.X.(*ast.Ident); ok {
+						if obj := p.Info.Uses[id]; obj != nil {
+							dead[obj] = true
+							delete(bound, obj)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return bound
+}
+
+// resolveCalls walks every function body of p and resolves its call
+// expressions into edges.
+func (g *Graph) resolveCalls(p *SourcePkg, c *cha) {
+	closures := closureBindings(p)
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			// Each call is attributed to the innermost enclosing node
+			// (declaration or literal).
+			g.resolveBody(p, c, closures, g.ByDecl[fd], fd.Body)
+		}
+	}
+}
+
+// resolveBody resolves the calls lexically inside owner's body,
+// descending into nested literals under their own nodes.
+func (g *Graph) resolveBody(p *SourcePkg, c *cha, closures map[types.Object]*ast.FuncLit, owner *Node, body ast.Node) {
+	ast.Inspect(body, func(nd ast.Node) bool {
+		if lit, ok := nd.(*ast.FuncLit); ok && nd != body {
+			g.resolveBody(p, c, closures, g.ByLit[lit], lit.Body)
+			return false
+		}
+		call, ok := nd.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		edges := g.resolveCall(p, c, closures, call)
+		if edges != nil {
+			owner.Edges = append(owner.Edges, edges...)
+			g.Calls[call] = edges
+		}
+		return true
+	})
+}
+
+// resolveCall classifies one call expression. It returns nil for
+// conversions and builtins.
+func (g *Graph) resolveCall(p *SourcePkg, c *cha, closures map[types.Object]*ast.FuncLit, call *ast.CallExpr) []Edge {
+	fun := ast.Unparen(call.Fun)
+
+	// Conversion?
+	if tv, ok := p.Info.Types[fun]; ok && tv.IsType() {
+		return nil
+	}
+
+	switch fn := fun.(type) {
+	case *ast.Ident:
+		switch obj := p.Info.Uses[fn].(type) {
+		case *types.Builtin:
+			return nil
+		case *types.Func:
+			return g.staticEdge(call, obj)
+		case *types.Var:
+			if lit := closures[obj]; lit != nil {
+				return []Edge{{Call: call, Kind: EdgeClosure, Callee: g.ByLit[lit]}}
+			}
+			return []Edge{{Call: call, Kind: EdgeDynamic}}
+		case nil:
+			return []Edge{{Call: call, Kind: EdgeDynamic}}
+		default:
+			return []Edge{{Call: call, Kind: EdgeDynamic}}
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := p.Info.Selections[fn]; ok {
+			// Method call. Interface receiver → CHA; concrete → static.
+			m, ok := sel.Obj().(*types.Func)
+			if !ok {
+				return []Edge{{Call: call, Kind: EdgeDynamic}}
+			}
+			recv := sel.Recv()
+			if types.IsInterface(recv) {
+				iface, _ := recv.Underlying().(*types.Interface)
+				if iface == nil || !c.moduleDefined(recv, p.Pkg) {
+					return []Edge{{Call: call, Kind: EdgeDynamic}}
+				}
+				impls := c.implementations(iface, m)
+				var edges []Edge
+				for _, impl := range impls {
+					if n := g.ByFunc[impl]; n != nil {
+						edges = append(edges, Edge{Call: call, Kind: EdgeInterface, Callee: n})
+					} else {
+						edges = append(edges, Edge{Call: call, Kind: EdgeExternal, Ext: impl})
+					}
+				}
+				sort.SliceStable(edges, func(i, j int) bool {
+					return edgeName(edges[i]) < edgeName(edges[j])
+				})
+				if edges == nil {
+					// Interface with no implementation in the universe:
+					// nothing concrete can be called through it here.
+					edges = []Edge{{Call: call, Kind: EdgeDynamic}}
+				}
+				return edges
+			}
+			return g.staticEdge(call, m)
+		}
+		// Qualified identifier pkg.F.
+		if fn2, ok := p.Info.Uses[fn.Sel].(*types.Func); ok {
+			return g.staticEdge(call, fn2)
+		}
+		return []Edge{{Call: call, Kind: EdgeDynamic}}
+	case *ast.FuncLit:
+		return []Edge{{Call: call, Kind: EdgeStatic, Callee: g.ByLit[fn]}}
+	default:
+		return []Edge{{Call: call, Kind: EdgeDynamic}}
+	}
+}
+
+func edgeName(e Edge) string {
+	if e.Callee != nil {
+		return e.Callee.Name
+	}
+	if e.Ext != nil {
+		return e.Ext.FullName()
+	}
+	return ""
+}
+
+func (g *Graph) staticEdge(call *ast.CallExpr, fn *types.Func) []Edge {
+	if n := g.ByFunc[fn]; n != nil {
+		return []Edge{{Call: call, Kind: EdgeStatic, Callee: n}}
+	}
+	return []Edge{{Call: call, Kind: EdgeExternal, Ext: fn}}
+}
+
+// condense runs Tarjan's algorithm. Tarjan completes a component only
+// after every component reachable from it, so the emission order is
+// already callees-first.
+func (g *Graph) condense() {
+	for _, n := range g.Nodes {
+		n.index = -1
+	}
+	var (
+		counter int
+		stack   []*Node
+		visit   func(*Node)
+	)
+	visit = func(v *Node) {
+		counter++
+		v.index, v.lowlink = counter, counter
+		stack = append(stack, v)
+		v.onStack = true
+		for _, e := range v.Edges {
+			w := e.Callee
+			if w == nil {
+				continue
+			}
+			if w.index < 0 {
+				visit(w)
+				if w.lowlink < v.lowlink {
+					v.lowlink = w.lowlink
+				}
+			} else if w.onStack && w.index < v.lowlink {
+				v.lowlink = w.index
+			}
+		}
+		if v.lowlink == v.index {
+			var comp []*Node
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				w.onStack = false
+				w.SCC = len(g.SCCs)
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			g.SCCs = append(g.SCCs, comp)
+		}
+	}
+	for _, n := range g.Nodes {
+		if n.index < 0 {
+			visit(n)
+		}
+	}
+}
+
+// WriteDOT renders the graph in Graphviz DOT form with deterministic
+// node and edge order. attrs, when non-nil, returns extra attributes
+// for a node (e.g. the summary facts), rendered inside its [...] list.
+func (g *Graph) WriteDOT(w io.Writer, attrs func(*Node) string) error {
+	bw := &errWriter{w: w}
+	bw.printf("digraph callgraph {\n")
+	bw.printf("  rankdir=LR;\n  node [shape=box, fontsize=10];\n")
+	for _, n := range g.Nodes {
+		pos := g.fset.Position(n.Pos())
+		extra := ""
+		if attrs != nil {
+			if a := attrs(n); a != "" {
+				extra = ", " + a
+			}
+		}
+		style := ""
+		if n.Hot {
+			style = `, color=red, penwidth=2`
+		}
+		bw.printf("  %q [label=%q%s%s];\n",
+			n.Name, fmt.Sprintf("%s\n%s:%d", n.Name, filepath.Base(pos.Filename), pos.Line), style, extra)
+	}
+	for _, n := range g.Nodes {
+		type key struct {
+			to   string
+			kind EdgeKind
+		}
+		seen := map[key]bool{}
+		for _, e := range n.Edges {
+			name := edgeName(e)
+			if name == "" {
+				name = "<dynamic>"
+			}
+			k := key{name, e.Kind}
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			switch e.Kind {
+			case EdgeExternal:
+				// Externals would drown the drawing; keep only the ones
+				// CHA routed through module interfaces.
+				continue
+			case EdgeDynamic:
+				bw.printf("  %q -> %q [style=dotted, label=\"dynamic\"];\n", n.Name, name)
+			case EdgeInterface:
+				bw.printf("  %q -> %q [style=dashed];\n", n.Name, name)
+			default:
+				bw.printf("  %q -> %q;\n", n.Name, name)
+			}
+		}
+	}
+	bw.printf("}\n")
+	return bw.err
+}
+
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) printf(format string, args ...any) {
+	if e.err == nil {
+		_, e.err = fmt.Fprintf(e.w, format, args...)
+	}
+}

@@ -1,0 +1,171 @@
+package callgraph
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// check parses and type-checks one import-free source file and wraps it
+// as a SourcePkg, the builder's input shape.
+func check(t *testing.T, src string) (*token.FileSet, *SourcePkg) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	pkg, err := (&types.Config{}).Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, &SourcePkg{Path: "p", Files: []*ast.File{f}, Pkg: pkg, Info: info}
+}
+
+func node(t *testing.T, g *Graph, name string) *Node {
+	t.Helper()
+	for _, n := range g.Nodes {
+		if n.Name == name {
+			return n
+		}
+	}
+	t.Fatalf("no node named %q in graph", name)
+	return nil
+}
+
+const edgeSrc = `package p
+
+type boxer interface{ open() int }
+
+type crate struct{}
+
+func (crate) open() int { return 1 }
+
+func direct() int { return leaf() }
+
+func leaf() int { return 2 }
+
+func viaClosure() int {
+	f := func() int { return 3 }
+	return f()
+}
+
+func viaInterface(b boxer) int { return b.open() }
+
+func viaMethod(c crate) int { return c.open() }
+
+func viaParam(fn func() int) int { return fn() }
+`
+
+// TestEdgeKinds pins the resolution tier of every call shape: direct
+// calls and concrete method calls are static, once-bound literals
+// resolve as closures, module-defined interface calls resolve by CHA,
+// and arbitrary function values stay dynamic.
+func TestEdgeKinds(t *testing.T) {
+	fset, sp := check(t, edgeSrc)
+	g := Build(fset, []*SourcePkg{sp})
+
+	assertEdge := func(from string, kind EdgeKind, callee string) {
+		t.Helper()
+		n := node(t, g, from)
+		if len(n.Edges) != 1 {
+			t.Fatalf("%s has %d edges, want 1", from, len(n.Edges))
+		}
+		e := n.Edges[0]
+		if e.Kind != kind {
+			t.Errorf("%s edge kind = %v, want %v", from, e.Kind, kind)
+		}
+		if callee == "" {
+			if e.Callee != nil {
+				t.Errorf("%s callee = %s, want none", from, e.Callee.Name)
+			}
+			return
+		}
+		if e.Callee == nil || e.Callee.Name != callee {
+			t.Errorf("%s callee = %v, want %s", from, e.Callee, callee)
+		}
+	}
+
+	assertEdge("p.direct", EdgeStatic, "p.leaf")
+	assertEdge("p.viaClosure", EdgeClosure, "p.viaClosure$f")
+	assertEdge("p.viaInterface", EdgeInterface, "p.crate.open")
+	assertEdge("p.viaMethod", EdgeStatic, "p.crate.open")
+	assertEdge("p.viaParam", EdgeDynamic, "")
+
+	// Every resolved call must also be indexed in Calls.
+	for _, from := range []string{"p.direct", "p.viaInterface", "p.viaParam"} {
+		n := node(t, g, from)
+		if got := g.Calls[n.Edges[0].Call]; len(got) == 0 {
+			t.Errorf("call in %s missing from Graph.Calls", from)
+		}
+	}
+}
+
+const sccSrc = `package p
+
+func even(n int) bool {
+	if n == 0 {
+		return true
+	}
+	return odd(n - 1)
+}
+
+func odd(n int) bool {
+	if n == 0 {
+		return false
+	}
+	return even(n - 1)
+}
+
+func drive(n int) bool { return even(n) }
+
+func self(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return n + self(n-1)
+}
+`
+
+// TestSCCGrouping pins Tarjan's condensation: mutually recursive
+// functions share a component, callers sit in later (callees-first)
+// components, and self-recursion forms a singleton component.
+func TestSCCGrouping(t *testing.T) {
+	fset, sp := check(t, sccSrc)
+	g := Build(fset, []*SourcePkg{sp})
+
+	even, odd := node(t, g, "p.even"), node(t, g, "p.odd")
+	drive, self := node(t, g, "p.drive"), node(t, g, "p.self")
+
+	if even.SCC != odd.SCC {
+		t.Errorf("even SCC %d != odd SCC %d, want same component", even.SCC, odd.SCC)
+	}
+	if drive.SCC == even.SCC {
+		t.Errorf("drive shares SCC %d with even, want separate", drive.SCC)
+	}
+	if even.SCC >= drive.SCC {
+		t.Errorf("callee component %d not before caller component %d (callees-first order)",
+			even.SCC, drive.SCC)
+	}
+	if len(g.SCCs[self.SCC]) != 1 {
+		t.Errorf("self-recursive function in component of size %d, want singleton",
+			len(g.SCCs[self.SCC]))
+	}
+	// Component membership and the SCC index must agree.
+	for i, comp := range g.SCCs {
+		for _, n := range comp {
+			if n.SCC != i {
+				t.Errorf("node %s has SCC %d but sits in component %d", n.Name, n.SCC, i)
+			}
+		}
+	}
+}

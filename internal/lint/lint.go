@@ -48,6 +48,11 @@ type Pass struct {
 	Pkg      *types.Package
 	Info     *types.Info
 
+	// Uni is the whole-program interprocedural view (call graph,
+	// summaries, hotpath marks) shared across packages. Intraprocedural
+	// analyzers ignore it.
+	Uni *Universe
+
 	diags *[]Diagnostic
 }
 
@@ -64,7 +69,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // diagnostics in a deterministic order (by file, line, column,
 // analyzer, message) with exact duplicates removed — nested map ranges
 // can legitimately surface the same finding twice.
-func Run(pkg *Package, fset *token.FileSet, analyzers []*Analyzer) ([]Diagnostic, error) {
+func Run(pkg *Package, fset *token.FileSet, analyzers []*Analyzer, uni *Universe) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -74,6 +79,7 @@ func Run(pkg *Package, fset *token.FileSet, analyzers []*Analyzer) ([]Diagnostic
 			Files:    pkg.Files,
 			Pkg:      pkg.Pkg,
 			Info:     pkg.Info,
+			Uni:      uni,
 			diags:    &diags,
 		}
 		if err := a.Run(pass); err != nil {

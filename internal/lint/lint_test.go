@@ -29,7 +29,7 @@ func runTestdata(t *testing.T, a *Analyzer, dir, virtualPath string, expectClean
 	if err != nil {
 		t.Fatal(err)
 	}
-	diags, err := Run(pkg, l.Fset, []*Analyzer{a})
+	diags, err := Run(pkg, l.Fset, []*Analyzer{a}, NewUniverse(l))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,6 +166,15 @@ func TestProbRangeOutsideOutputs(t *testing.T) {
 	runTestdata(t, ProbRange, "probrange", "rsin/internal/markov", true)
 }
 
+// TestHotAlloc covers the full may-allocate taxonomy plus the
+// interprocedural findings: transitive chains, interface calls resolved
+// by CHA, external and dynamic calls, statement-level hot regions,
+// coldpath excision, hot-callee deduplication, and unmatched
+// directives.
+func TestHotAlloc(t *testing.T) {
+	runTestdata(t, HotAlloc, "hotalloc", "rsin/testdata/hotalloc", false)
+}
+
 // TestRepoIsClean runs every analyzer over the whole module and
 // applies the //lint:ignore suppressions — the same contract CI
 // enforces through cmd/rsinlint. Unused or malformed directives
@@ -184,16 +193,21 @@ func TestRepoIsClean(t *testing.T) {
 		t.Fatal("no packages found under module root")
 	}
 	known := KnownAnalyzers(All())
+	pkgs := make([]*Package, 0, len(paths))
 	for _, path := range paths {
 		pkg, err := l.Load(path)
 		if err != nil {
 			t.Fatal(err)
 		}
-		diags, err := Run(pkg, l.Fset, All())
+		pkgs = append(pkgs, pkg)
+	}
+	uni := NewUniverse(l)
+	for _, pkg := range pkgs {
+		diags, err := Run(pkg, l.Fset, All(), uni)
 		if err != nil {
 			t.Fatal(err)
 		}
-		kept, _ := ApplySuppressions(pkg, l.Fset, diags, known)
+		kept, _ := ApplySuppressions(pkg, l.Fset, diags, known, nil)
 		for _, d := range kept {
 			t.Errorf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
 		}

@@ -141,6 +141,18 @@ func (l *Loader) LoadDir(path, dir string) (*Package, error) {
 	return p, nil
 }
 
+// Loaded returns every package this loader has type-checked so far
+// (targets and module-local dependencies alike), sorted by import path.
+// This is the closed world the interprocedural layer analyzes.
+func (l *Loader) Loaded() []*Package {
+	out := make([]*Package, 0, len(l.pkgs))
+	for _, p := range l.pkgs {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
 // goFiles lists dir's buildable non-test Go files in sorted order,
 // honoring build constraints under the loader's tags.
 func (l *Loader) goFiles(dir string) ([]string, error) {

@@ -16,7 +16,8 @@ import (
 var SeedFlow = &Analyzer{
 	Name: "seedflow",
 	Doc: "in experiment and cmd packages, rng.New arguments and Seed fields of " +
-		"sim.Config / config.BuildOptions must be derived via runner.DeriveSeed",
+		"sim.Config / config.BuildOptions must be derived via runner.DeriveSeed, " +
+		"directly or through a wrapper the summaries prove derives its result",
 	Run: runSeedFlow,
 }
 
@@ -95,11 +96,13 @@ func runSeedFlow(p *Pass) error {
 	return nil
 }
 
-// checkSeedExpr accepts either an expression containing a
-// runner.DeriveSeed call, or a bare value reference (identifier,
-// selector, dereference) — a threaded seed whose producer is checked
-// where it is constructed. Anything computed inline (literals,
-// arithmetic) is flagged.
+// checkSeedExpr accepts: an expression containing a runner.DeriveSeed
+// call; a call to a function whose interprocedural summary proves it
+// derives its result through DeriveSeed (a deriving wrapper); or a bare
+// value reference (identifier, selector, dereference) — a threaded seed
+// whose producer is checked where it is constructed. Anything computed
+// inline (literals, arithmetic) is flagged, as is a wrapper that
+// launders a seed without deriving it.
 func checkSeedExpr(p *Pass, e ast.Expr, what string) {
 	for {
 		if paren, ok := e.(*ast.ParenExpr); ok {
@@ -114,10 +117,21 @@ func checkSeedExpr(p *Pass, e ast.Expr, what string) {
 	}
 	found := false
 	ast.Inspect(e, func(n ast.Node) bool {
-		if call, ok := n.(*ast.CallExpr); ok &&
-			isPkgFunc(p, call.Fun, "rsin/internal/runner", "DeriveSeed") {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isPkgFunc(p, call.Fun, "rsin/internal/runner", "DeriveSeed") {
 			found = true
 			return false
+		}
+		if p.Uni != nil {
+			for _, edge := range p.Uni.Graph.Calls[call] {
+				if edge.Callee != nil && p.Uni.Sums.Facts(edge.Callee).DerivesSeed {
+					found = true
+					return false
+				}
+			}
 		}
 		return true
 	})

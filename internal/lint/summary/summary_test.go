@@ -1,0 +1,124 @@
+package summary
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+
+	"rsin/internal/lint/callgraph"
+)
+
+func check(t *testing.T, src string) (*token.FileSet, *callgraph.SourcePkg) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	pkg, err := (&types.Config{}).Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, &callgraph.SourcePkg{Path: "p", Files: []*ast.File{f}, Pkg: pkg, Info: info}
+}
+
+func node(t *testing.T, g *callgraph.Graph, name string) *callgraph.Node {
+	t.Helper()
+	for _, n := range g.Nodes {
+		if n.Name == name {
+			return n
+		}
+	}
+	t.Fatalf("no node named %q in graph", name)
+	return nil
+}
+
+const cyclicSrc = `package p
+
+func ping(n int) []int {
+	if n == 0 {
+		return grow(nil)
+	}
+	return pong(n - 1)
+}
+
+func pong(n int) []int { return ping(n - 1) }
+
+func grow(xs []int) []int { return append(xs, 1) }
+
+func clean(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return clean(n - 1)
+}
+
+func Derive(base uint64, i int) uint64 { return base + uint64(i) }
+
+func wrapped(base uint64, i int) uint64 { return Derive(base, i) }
+
+func laundered(base uint64, i int) uint64 { return base * 31 }
+
+func passthrough(seed uint64) uint64 { return seed }
+`
+
+// TestFixpointOverCycle pins the SCC iteration: facts propagate through
+// a mutually recursive component until stable, recursion alone never
+// fabricates a fact, and witness chains stay acyclic and grounded in a
+// terminal operation even when the graph has cycles.
+func TestFixpointOverCycle(t *testing.T) {
+	fset, sp := check(t, cyclicSrc)
+	g := callgraph.Build(fset, []*callgraph.SourcePkg{sp})
+	s := Compute(fset, g, Config{DeriveSeedFunc: "p.Derive"})
+
+	for _, name := range []string{"p.ping", "p.pong", "p.grow"} {
+		f := s.Facts(node(t, g, name))
+		if !f.Allocates {
+			t.Errorf("%s: Allocates = false, want true", name)
+			continue
+		}
+		if len(f.AllocPath) == 0 || len(f.AllocPath) > maxChain {
+			t.Fatalf("%s: witness chain length %d outside (0, %d]", name, len(f.AllocPath), maxChain)
+		}
+		last := f.AllocPath[len(f.AllocPath)-1]
+		if last.Callee != nil || last.What == "" {
+			t.Errorf("%s: terminal step %+v, want a grounding operation", name, last)
+		}
+		seen := map[*callgraph.Node]bool{}
+		for _, st := range f.AllocPath[:len(f.AllocPath)-1] {
+			if st.Callee == nil {
+				t.Errorf("%s: interior step with no callee", name)
+				continue
+			}
+			if seen[st.Callee] {
+				t.Errorf("%s: witness chain revisits %s (cyclic chain)", name, st.Callee.Name)
+			}
+			seen[st.Callee] = true
+		}
+	}
+
+	if f := s.Facts(node(t, g, "p.clean")); f.Allocates {
+		t.Errorf("clean self-recursion: Allocates = true, want false (chain %v)", f.AllocPath)
+	}
+
+	// DerivesSeed: a wrapper around the canonical function qualifies,
+	// inline arithmetic and identity passthroughs do not.
+	for name, want := range map[string]bool{
+		"p.wrapped":     true,
+		"p.laundered":   false,
+		"p.passthrough": false,
+	} {
+		if got := s.Facts(node(t, g, name)).DerivesSeed; got != want {
+			t.Errorf("%s: DerivesSeed = %v, want %v", name, got, want)
+		}
+	}
+}

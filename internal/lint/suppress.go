@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"go/ast"
 	"go/token"
 	"sort"
 	"strings"
@@ -11,12 +12,17 @@ import (
 // reported. It is reserved: directives cannot suppress it.
 const SuppressAnalyzer = "suppression"
 
-// directive is one parsed //lint:ignore comment.
+// directive is one parsed //lint:ignore comment. A directive in a
+// function declaration's doc comment covers the whole declaration
+// (fromLine..toLine); otherwise it covers its own line and the next.
 type directive struct {
 	pos       token.Position
 	analyzers []string
 	reason    string
 	used      bool
+	relevant  bool // names at least one analyzer that ran this invocation
+	fromLine  int  // inclusive extent; 0 when line-granular
+	toLine    int
 }
 
 // ApplySuppressions filters diags through the //lint:ignore directives
@@ -29,15 +35,33 @@ type directive struct {
 //
 // A directive suppresses matching diagnostics reported on its own line
 // (trailing comment) or on the line immediately below (comment on its
-// own line). A missing reason, an unknown analyzer name, and a
-// directive that suppressed nothing are themselves reported as
-// SuppressAnalyzer diagnostics — stale suppressions must not outlive
-// the finding they justified.
-func ApplySuppressions(pkg *Package, fset *token.FileSet, diags []Diagnostic, known map[string]bool) (kept []Diagnostic, suppressed int) {
+// own line). A directive in a function declaration's doc comment
+// suppresses matching diagnostics anywhere in that declaration — the
+// right granularity for transitive findings like hotalloc's, which
+// surface at call sites scattered through the body. A missing reason,
+// an unknown analyzer name, and a directive that suppressed nothing
+// are themselves reported as SuppressAnalyzer diagnostics — stale
+// suppressions must not outlive the finding they justified.
+//
+// ran is the set of analyzers that actually produced diags this
+// invocation (nil means all of known ran). The unused-directive check
+// applies only to directives naming an analyzer that ran: under
+// -analyzers subset runs, a directive for an unselected analyzer has
+// had no chance to suppress anything and must not be reported stale.
+func ApplySuppressions(pkg *Package, fset *token.FileSet, diags []Diagnostic, known, ran map[string]bool) (kept []Diagnostic, suppressed int) {
 	var dirs []*directive
 	var problems []Diagnostic
 	for _, f := range pkg.Files {
+		// Function extents by doc comment group, for whole-function
+		// suppression.
+		declForDoc := map[*ast.CommentGroup]*ast.FuncDecl{}
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Doc != nil {
+				declForDoc[fd.Doc] = fd
+			}
+		}
 		for _, cg := range f.Comments {
+			decl := declForDoc[cg]
 			for _, c := range cg.List {
 				text := strings.TrimPrefix(c.Text, "//")
 				rest, ok := strings.CutPrefix(strings.TrimSpace(text), "lint:ignore")
@@ -69,11 +93,21 @@ func ApplySuppressions(pkg *Package, fset *token.FileSet, diags []Diagnostic, kn
 				if bad {
 					continue
 				}
-				dirs = append(dirs, &directive{
+				dir := &directive{
 					pos:       pos,
 					analyzers: names,
 					reason:    strings.Join(fields[1:], " "),
-				})
+				}
+				for _, n := range names {
+					if ran == nil || ran[n] {
+						dir.relevant = true
+					}
+				}
+				if decl != nil {
+					dir.fromLine = fset.Position(decl.Pos()).Line
+					dir.toLine = fset.Position(decl.End()).Line
+				}
+				dirs = append(dirs, dir)
 			}
 		}
 	}
@@ -86,7 +120,7 @@ func ApplySuppressions(pkg *Package, fset *token.FileSet, diags []Diagnostic, kn
 		kept = append(kept, d)
 	}
 	for _, dir := range dirs {
-		if !dir.used {
+		if !dir.used && dir.relevant {
 			problems = append(problems, Diagnostic{
 				Pos:      dir.pos,
 				Analyzer: SuppressAnalyzer,
@@ -114,7 +148,11 @@ func matching(dirs []*directive, d Diagnostic) *directive {
 		if dir.pos.Filename != d.Pos.Filename {
 			continue
 		}
-		if d.Pos.Line != dir.pos.Line && d.Pos.Line != dir.pos.Line+1 {
+		if dir.fromLine > 0 {
+			if d.Pos.Line < dir.fromLine || d.Pos.Line > dir.toLine {
+				continue
+			}
+		} else if d.Pos.Line != dir.pos.Line && d.Pos.Line != dir.pos.Line+1 {
 			continue
 		}
 		for _, n := range dir.analyzers {

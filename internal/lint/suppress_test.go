@@ -37,7 +37,7 @@ func f() {
 `
 	pkg, fset := parsePkg(t, src)
 	diags := []Diagnostic{diag("s.go", 4, "floatsafe", "float division")}
-	kept, suppressed := ApplySuppressions(pkg, fset, diags, map[string]bool{"floatsafe": true})
+	kept, suppressed := ApplySuppressions(pkg, fset, diags, map[string]bool{"floatsafe": true}, nil)
 	if suppressed != 1 || len(kept) != 0 {
 		t.Fatalf("same-line directive: kept=%v suppressed=%d, want 0 kept / 1 suppressed", kept, suppressed)
 	}
@@ -53,7 +53,7 @@ func f() {
 `
 	pkg, fset := parsePkg(t, src)
 	diags := []Diagnostic{diag("s.go", 5, "errflow", "error never read")}
-	kept, suppressed := ApplySuppressions(pkg, fset, diags, map[string]bool{"errflow": true})
+	kept, suppressed := ApplySuppressions(pkg, fset, diags, map[string]bool{"errflow": true}, nil)
 	if suppressed != 1 || len(kept) != 0 {
 		t.Fatalf("own-line directive: kept=%v suppressed=%d, want 0 kept / 1 suppressed", kept, suppressed)
 	}
@@ -70,7 +70,7 @@ func f() {
 `
 	pkg, fset := parsePkg(t, src)
 	diags := []Diagnostic{diag("s.go", 6, "floatsafe", "float division")}
-	kept, _ := ApplySuppressions(pkg, fset, diags, map[string]bool{"floatsafe": true})
+	kept, _ := ApplySuppressions(pkg, fset, diags, map[string]bool{"floatsafe": true}, nil)
 	// The finding survives AND the directive is reported unused.
 	if len(kept) != 2 {
 		t.Fatalf("kept %d diagnostics, want 2 (finding + unused directive): %v", len(kept), kept)
@@ -94,7 +94,7 @@ func f() {
 		diag("s.go", 4, "errflow", "error never read"),
 		diag("s.go", 4, "probrange", "probability unchecked"),
 	}
-	kept, suppressed := ApplySuppressions(pkg, fset, diags, known)
+	kept, suppressed := ApplySuppressions(pkg, fset, diags, known, nil)
 	if suppressed != 2 {
 		t.Errorf("comma list should suppress both named analyzers, suppressed=%d", suppressed)
 	}
@@ -111,7 +111,7 @@ func f() {
 }
 `
 	pkg, fset := parsePkg(t, src)
-	kept, suppressed := ApplySuppressions(pkg, fset, nil, map[string]bool{"floatsafe": true})
+	kept, suppressed := ApplySuppressions(pkg, fset, nil, map[string]bool{"floatsafe": true}, nil)
 	if suppressed != 0 {
 		t.Errorf("nothing to suppress, suppressed=%d", suppressed)
 	}
@@ -131,7 +131,7 @@ func f() {
 }
 `
 	pkg, fset := parsePkg(t, src)
-	kept, _ := ApplySuppressions(pkg, fset, nil, map[string]bool{"floatsafe": true})
+	kept, _ := ApplySuppressions(pkg, fset, nil, map[string]bool{"floatsafe": true}, nil)
 	if len(kept) != 1 || kept[0].Analyzer != SuppressAnalyzer {
 		t.Fatalf("directive without a reason must be reported malformed, kept=%v", kept)
 	}
@@ -148,7 +148,7 @@ func f() {
 }
 `
 	pkg, fset := parsePkg(t, src)
-	kept, _ := ApplySuppressions(pkg, fset, nil, map[string]bool{"floatsafe": true})
+	kept, _ := ApplySuppressions(pkg, fset, nil, map[string]bool{"floatsafe": true}, nil)
 	if len(kept) != 1 || kept[0].Analyzer != SuppressAnalyzer {
 		t.Fatalf("unknown analyzer name must be reported, kept=%v", kept)
 	}
@@ -165,9 +165,88 @@ func f() {
 }
 `
 	pkg, fset := parsePkg(t, src)
-	kept, _ := ApplySuppressions(pkg, fset, nil, map[string]bool{"floatsafe": true, SuppressAnalyzer: true})
+	kept, _ := ApplySuppressions(pkg, fset, nil, map[string]bool{"floatsafe": true, SuppressAnalyzer: true}, nil)
 	if len(kept) != 1 || kept[0].Analyzer != SuppressAnalyzer {
 		t.Fatalf("the suppression meta-analyzer is reserved, kept=%v", kept)
+	}
+}
+
+func TestSuppressFunctionExtent(t *testing.T) {
+	src := `package p
+
+//lint:ignore hotalloc pool appends amortize; pinned by TestPoolZeroAlloc
+func hot() {
+	_ = 0
+	_ = 1
+}
+
+func other() {
+	_ = 2
+}
+`
+	pkg, fset := parsePkg(t, src)
+	diags := []Diagnostic{
+		diag("s.go", 5, "hotalloc", "hot path p.hot: growing append"),
+		diag("s.go", 6, "hotalloc", "hot path p.hot: call may allocate: p.helper → make"),
+		diag("s.go", 6, "noclock", "wall-clock time.Now"),
+		diag("s.go", 10, "hotalloc", "hot path p.other: make"),
+	}
+	known := map[string]bool{"hotalloc": true, "noclock": true}
+	kept, suppressed := ApplySuppressions(pkg, fset, diags, known, nil)
+	// The doc directive covers every hotalloc finding in hot's body —
+	// including ones far below the directive line — but neither other
+	// analyzers in the same body nor findings in the next function.
+	if suppressed != 2 {
+		t.Errorf("function-extent directive suppressed %d, want 2", suppressed)
+	}
+	if len(kept) != 2 || !hasAnalyzer(kept, "noclock") || !hasAnalyzer(kept, "hotalloc") {
+		t.Fatalf("kept %v, want the noclock finding and other's hotalloc finding", kept)
+	}
+	for _, d := range kept {
+		if d.Analyzer == "hotalloc" && d.Pos.Line != 10 {
+			t.Errorf("suppression leaked out of the declaration: kept %v", d)
+		}
+	}
+}
+
+func TestSuppressFunctionExtentUnused(t *testing.T) {
+	src := `package p
+
+//lint:ignore hotalloc the body was rewritten and allocates nowhere
+func cold() {
+	_ = 0
+}
+`
+	pkg, fset := parsePkg(t, src)
+	kept, suppressed := ApplySuppressions(pkg, fset, nil, map[string]bool{"hotalloc": true}, nil)
+	if suppressed != 0 || len(kept) != 1 || kept[0].Analyzer != SuppressAnalyzer {
+		t.Fatalf("stale whole-function directive must surface as unused, kept=%v", kept)
+	}
+}
+
+func TestSuppressSubsetRun(t *testing.T) {
+	src := `package p
+
+func f() {
+	_ = 0 //lint:ignore floatsafe denominator proven positive above
+	_ = 1 //lint:ignore hotalloc stale hot-path justification
+}
+`
+	pkg, fset := parsePkg(t, src)
+	known := map[string]bool{"floatsafe": true, "hotalloc": true}
+	ran := map[string]bool{"hotalloc": true}
+	kept, suppressed := ApplySuppressions(pkg, fset, nil, known, ran)
+	// Under -analyzers hotalloc the floatsafe directive never had a
+	// chance to fire and must not be called stale; the hotalloc one ran
+	// dry and must be.
+	if suppressed != 0 || len(kept) != 1 || kept[0].Analyzer != SuppressAnalyzer {
+		t.Fatalf("subset run kept %v, want exactly the stale hotalloc directive", kept)
+	}
+	if !strings.Contains(kept[0].Message, "hotalloc") {
+		t.Errorf("unused report should name hotalloc, got %q", kept[0].Message)
+	}
+	if kept[0].Pos.Line != 5 {
+		t.Errorf("unused report at line %d, want 5 (the hotalloc directive)", kept[0].Pos.Line)
 	}
 }
 

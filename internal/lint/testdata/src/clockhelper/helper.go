@@ -1,0 +1,15 @@
+// Package clockhelper is a lint-test fixture that reaches the wall
+// clock one call deep. It lives under testdata/ so the go tool never
+// builds it into the module, but at a *real* import path so the lint
+// loader's source importer can resolve it from the noclock testdata —
+// that is exactly the cross-package reach the interprocedural half of
+// the noclock analyzer exists to catch.
+package clockhelper
+
+import "time"
+
+// SampleNow hides the clock read behind one more frame, so only a
+// summary-based analysis can see it from a caller.
+func SampleNow() int64 { return stamp() }
+
+func stamp() int64 { return time.Now().UnixNano() }

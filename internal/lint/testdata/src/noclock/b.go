@@ -1,0 +1,11 @@
+package noclock
+
+import helper "rsin/internal/lint/testdata/src/clockhelper"
+
+// Measure never mentions package time, but the callee chain reaches
+// time.Now two frames down; the interprocedural summary must surface
+// the full witness chain. Under the exempt virtual paths (runner, obs)
+// this file, like a.go, must stay clean.
+func Measure() int64 {
+	return helper.SampleNow() // want "call reaches the wall clock: clockhelper.SampleNow → clockhelper.stamp → .*time\.Now"
+}

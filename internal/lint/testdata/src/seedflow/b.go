@@ -1,0 +1,31 @@
+package seedflow
+
+import (
+	"rsin/internal/rng"
+	"rsin/internal/runner"
+)
+
+// deriveWrapped is a deriving wrapper: it has one uint64 result and
+// every return flows through runner.DeriveSeed, so the interprocedural
+// summaries prove DerivesSeed for it.
+func deriveWrapped(base uint64, point, rep int) uint64 {
+	return runner.DeriveSeed(base, point, rep)
+}
+
+// launderSeed has the same shape but computes the seed inline — a
+// laundering wrapper the summaries must NOT bless.
+func launderSeed(base uint64, i int) uint64 {
+	return base*31 + uint64(i)
+}
+
+// GoodWrapper seeds a stream through the proven wrapper; the summary
+// makes this as acceptable as calling DeriveSeed inline.
+func GoodWrapper(base uint64, point, rep int) *rng.Source {
+	return rng.New(deriveWrapped(base, point, rep))
+}
+
+// BadWrapper hides inline arithmetic behind a call; only the
+// interprocedural check can reject it.
+func BadWrapper(base uint64, i int) *rng.Source {
+	return rng.New(launderSeed(base, i)) // want "rng\.New argument is not derived"
+}

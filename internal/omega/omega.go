@@ -123,6 +123,13 @@ type Omega struct {
 	// status.
 	snap [][]bool
 
+	// pathPool recycles grant path records (the Partitioned dispatcher's
+	// pool pattern): Acquire pops one, the final ReleaseResource pushes
+	// it back, so steady-state grants allocate nothing. Stored as
+	// pointers so placing one in core.Grant.Path boxes a pointer — free
+	// — instead of copying a slice header into the interface.
+	pathPool []*pathGrant
+
 	tel core.Telemetry
 	// Fine-grained telemetry (core.DetailSource): where in the pipeline
 	// rejects happen and how grants spread over the output ports.
@@ -194,11 +201,15 @@ func NewCube(n, perPort int, opts ...Option) *Omega {
 }
 
 // shuffle is the perfect shuffle: rotate the n-bit wire index left by 1.
+//
+//lint:hotpath
 func (o *Omega) shuffle(pos int) int {
 	return (pos<<1 | pos>>(o.n-1)) & (o.size - 1)
 }
 
 // entry returns the stage-0 input wire position of processor pid.
+//
+//lint:hotpath
 func (o *Omega) entry(pid int) int {
 	switch o.wiring {
 	case OmegaWiring:
@@ -214,6 +225,8 @@ func (o *Omega) entry(pid int) int {
 // pos at stage s. A box's two input wires and two output wires carry
 // the same pair of position indices: straight keeps the index, exchange
 // swaps to the partner.
+//
+//lint:hotpath
 func (o *Omega) pair(s, pos int) int {
 	switch o.wiring {
 	case OmegaWiring:
@@ -227,6 +240,8 @@ func (o *Omega) pair(s, pos int) int {
 
 // next maps an output wire of stage s to the input position of stage
 // s+1.
+//
+//lint:hotpath
 func (o *Omega) next(s, pos int) int {
 	switch o.wiring {
 	case OmegaWiring:
@@ -258,11 +273,15 @@ func (o *Omega) buildReach() {
 
 // portEligible reports whether output port j can accept a new request:
 // bus free and at least one free resource (the paper's Y signal).
+//
+//lint:hotpath
 func (o *Omega) portEligible(j int) bool {
 	return !o.portBusy[j] && o.free[j] > 0
 }
 
 // eligibleMask returns the bitmask of currently eligible output ports.
+//
+//lint:hotpath
 func (o *Omega) eligibleMask() uint64 {
 	var m uint64
 	for j := 0; j < o.size; j++ {
@@ -278,6 +297,8 @@ func (o *Omega) eligibleMask() uint64 {
 // backward-propagated status register content of the paper's Fig. 9/10
 // boxes — live under instantaneous propagation (assumption (c)), or the
 // frozen phase-1 value during AcquireBatch.
+//
+//lint:hotpath
 func (o *Omega) avail(s, w int) bool {
 	if o.snap != nil {
 		return o.snap[s][w]
@@ -290,9 +311,35 @@ type pathGrant struct {
 	wires []int
 }
 
+// takePath pops a recycled path record, or mints one on a cold pool.
+// The wire slice comes back emptied with its capacity intact, so the
+// mint happens at most once per concurrently outstanding grant.
+//
+//lint:hotpath
+func (o *Omega) takePath() *pathGrant {
+	if n := len(o.pathPool); n > 0 {
+		pg := o.pathPool[n-1]
+		o.pathPool = o.pathPool[:n-1]
+		pg.wires = pg.wires[:0]
+		return pg
+	}
+	//lint:ignore hotalloc cold-pool mint, amortized to zero once the pool warms; pinned by TestOmegaAcquireZeroAlloc
+	return &pathGrant{wires: make([]int, 0, o.n)}
+}
+
+// putPath returns a path record to the pool.
+//
+//lint:hotpath
+func (o *Omega) putPath(pg *pathGrant) {
+	//lint:ignore hotalloc pool append reuses capacity after warm-up; pinned by TestOmegaAcquireZeroAlloc
+	o.pathPool = append(o.pathPool, pg)
+}
+
 // Acquire implements core.Network: route a destination-less request
 // from processor pid to any eligible output port, using
 // availability-guided switching with reject/backtrack.
+//
+//lint:hotpath called once per allocation attempt in the event loop
 func (o *Omega) Acquire(pid int) (core.Grant, bool) {
 	if pid < 0 || pid >= o.size {
 		panic(fmt.Sprintf("omega: processor %d out of range", pid))
@@ -304,9 +351,10 @@ func (o *Omega) Acquire(pid int) (core.Grant, bool) {
 		o.tel.ResourceBlock++
 		return core.Grant{}, false
 	}
-	wires := make([]int, 0, o.n)
-	port, ok := o.route(0, o.entry(pid), &wires)
+	pg := o.takePath()
+	port, ok := o.route(0, o.entry(pid), &pg.wires)
 	if !ok {
+		o.putPath(pg)
 		o.tel.Failures++
 		o.tel.PathBlock++
 		o.verify()
@@ -320,7 +368,7 @@ func (o *Omega) Acquire(pid int) (core.Grant, bool) {
 	o.tel.Grants++
 	o.portGrants[port]++
 	o.verify()
-	return core.Grant{Processor: pid, Port: port, Path: pathGrant{wires: wires}}, true
+	return core.Grant{Processor: pid, Port: port, Path: pg}, true
 }
 
 // AcquireWouldFail implements core.AvailabilityHinter: when every
@@ -330,6 +378,8 @@ func (o *Omega) Acquire(pid int) (core.Grant, bool) {
 // port is eligible the hint answers false — the request may still
 // path-block inside the boxes, which only the full routing DFS (with
 // its per-stage reject telemetry) can decide.
+//
+//lint:hotpath probed by every wake pass
 func (o *Omega) AcquireWouldFail(pid int) bool {
 	if pid < 0 || pid >= o.size {
 		panic(fmt.Sprintf("omega: processor %d out of range", pid))
@@ -347,6 +397,8 @@ func (o *Omega) AcquireWouldFail(pid int) bool {
 // position pos of stage s. On success it claims the wires it used,
 // appends them to *wires (last stage first), and returns the output
 // port.
+//
+//lint:hotpath the routing DFS runs inside every Acquire
 func (o *Omega) route(s, pos int, wires *[]int) (int, bool) {
 	o.tel.BoxVisits++
 	outs := [2]int{pos, o.pair(s, pos)}
@@ -368,6 +420,7 @@ func (o *Omega) route(s, pos int, wires *[]int) (int, bool) {
 				continue
 			}
 			o.outOcc[s][out] = true
+			//lint:ignore hotalloc append into the pooled record's retained capacity; pinned by TestOmegaAcquireZeroAlloc
 			*wires = append(*wires, out)
 			return out, true
 		}
@@ -377,6 +430,7 @@ func (o *Omega) route(s, pos int, wires *[]int) (int, bool) {
 		o.outOcc[s][out] = true
 		port, ok := o.route(s+1, o.next(s, out), wires)
 		if ok {
+			//lint:ignore hotalloc append into the pooled record's retained capacity; pinned by TestOmegaAcquireZeroAlloc
 			*wires = append(*wires, out)
 			return port, true
 		}
@@ -430,6 +484,8 @@ func (o *Omega) AcquireBatch(pids []int) ([]core.Grant, []bool) {
 // acquireStale is Acquire with the availability shortcut evaluated from
 // the frozen snapshot (the processor submitted because phase-1 status
 // said resources exist).
+//
+//lint:hotpath per-request half of the two-phase batch
 func (o *Omega) acquireStale(pid int) (core.Grant, bool) {
 	o.tel.Attempts++
 	anyAvail := false
@@ -444,9 +500,10 @@ func (o *Omega) acquireStale(pid int) (core.Grant, bool) {
 		o.tel.ResourceBlock++
 		return core.Grant{}, false
 	}
-	wires := make([]int, 0, o.n)
-	port, ok := o.route(0, o.entry(pid), &wires)
+	pg := o.takePath()
+	port, ok := o.route(0, o.entry(pid), &pg.wires)
 	if !ok {
+		o.putPath(pg)
 		o.tel.Failures++
 		o.tel.PathBlock++
 		o.verify()
@@ -467,7 +524,7 @@ func (o *Omega) acquireStale(pid int) (core.Grant, bool) {
 	o.tel.Grants++
 	o.portGrants[port]++
 	o.verify()
-	return core.Grant{Processor: pid, Port: port, Path: pathGrant{wires: wires}}, true
+	return core.Grant{Processor: pid, Port: port, Path: pg}, true
 }
 
 // AcquireTag routes a request from pid to the specific output port dst
@@ -477,6 +534,8 @@ func (o *Omega) acquireStale(pid int) (core.Grant, bool) {
 // resource are claimed exactly as in Acquire. The routing decision at
 // each box is generic over the wiring: the request exits through the
 // output wire whose static reach set contains dst.
+//
+//lint:hotpath the tag-routing baseline's per-request path
 func (o *Omega) AcquireTag(pid, dst int) (core.Grant, bool) {
 	if pid < 0 || pid >= o.size || dst < 0 || dst >= o.size {
 		panic("omega: AcquireTag index out of range")
@@ -487,7 +546,7 @@ func (o *Omega) AcquireTag(pid, dst int) (core.Grant, bool) {
 		o.tel.ResourceBlock++
 		return core.Grant{}, false
 	}
-	wires := make([]int, 0, o.n)
+	pg := o.takePath()
 	pos := o.entry(pid)
 	dstBit := uint64(1) << uint(dst)
 	for s := 0; s < o.n; s++ {
@@ -501,18 +560,20 @@ func (o *Omega) AcquireTag(pid, dst int) (core.Grant, bool) {
 		}
 		if o.outOcc[s][out] {
 			// Tag routing cannot reroute: the request is blocked.
-			for i, w := range wires {
+			for i, w := range pg.wires {
 				o.outOcc[i][w] = false
 			}
+			o.putPath(pg)
 			o.tel.Failures++
 			o.tel.PathBlock++
 			return core.Grant{}, false
 		}
 		o.outOcc[s][out] = true
-		wires = append(wires, out)
+		//lint:ignore hotalloc append into the pooled record's retained capacity; pinned by TestOmegaAcquireZeroAlloc
+		pg.wires = append(pg.wires, out)
 		pos = o.next(s, out)
 	}
-	port := wires[o.n-1]
+	port := pg.wires[o.n-1]
 	if port != dst {
 		panic("omega: tag routing reached wrong port")
 	}
@@ -522,7 +583,12 @@ func (o *Omega) AcquireTag(pid, dst int) (core.Grant, bool) {
 	o.tel.Grants++
 	o.portGrants[port]++
 	o.verify()
-	return core.Grant{Processor: pid, Port: port, Path: pathGrant{wires: reverseCopy(wires)}}, true
+	// The tag loop collected the wires outermost-first; ReleasePath
+	// expects innermost-first, so reverse in place.
+	for i, j := 0, len(pg.wires)-1; i < j; i, j = i+1, j-1 {
+		pg.wires[i], pg.wires[j] = pg.wires[j], pg.wires[i]
+	}
+	return core.Grant{Processor: pid, Port: port, Path: pg}, true
 }
 
 // verify panics with a *invariant.Violation when the runtime checks
@@ -587,18 +653,12 @@ func (o *Omega) VerifyState() error {
 	return nil
 }
 
-func reverseCopy(w []int) []int {
-	r := make([]int, len(w))
-	for i, v := range w {
-		r[len(w)-1-i] = v
-	}
-	return r
-}
-
 // ReleasePath implements core.Network: free the circuit's wires and the
 // output bus; the resource keeps serving.
+//
+//lint:hotpath
 func (o *Omega) ReleasePath(g core.Grant) {
-	pg := g.Path.(pathGrant)
+	pg := g.Path.(*pathGrant)
 	// wires were appended innermost-first: wires[0] is the last stage.
 	for i, w := range pg.wires {
 		s := o.n - 1 - i
@@ -617,7 +677,11 @@ func (o *Omega) ReleasePath(g core.Grant) {
 	o.verify()
 }
 
-// ReleaseResource implements core.Network.
+// ReleaseResource implements core.Network. This is the grant's final
+// release (ReleasePath precedes it), so the path record goes back to
+// the pool here.
+//
+//lint:hotpath
 func (o *Omega) ReleaseResource(g core.Grant) {
 	if o.free[g.Port] >= o.perPort {
 		panic("omega: ReleaseResource overflow")
@@ -625,6 +689,9 @@ func (o *Omega) ReleaseResource(g core.Grant) {
 	o.free[g.Port]++
 	if o.free[g.Port] == 1 && !o.portBusy[g.Port] {
 		o.eligPorts++
+	}
+	if pg, ok := g.Path.(*pathGrant); ok {
+		o.putPath(pg)
 	}
 }
 

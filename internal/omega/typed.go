@@ -25,7 +25,11 @@ type TypedOmega struct {
 	// free[j][t]: free resources of type t behind port j.
 	free [][]int
 	cap  [][]int
-	tel  core.Telemetry
+	// tgPool recycles the typed-grant wrappers exactly as the substrate
+	// pools its path records, so bound typed networks are allocation-free
+	// in steady state too.
+	tgPool []*typedGrant
+	tel    core.Telemetry
 }
 
 // NewTyped builds an N×N multistage RSIN whose output port j carries
@@ -87,13 +91,39 @@ type typedGrant struct {
 	typ   int
 }
 
+// takeTG pops a recycled typed-grant wrapper, or mints one on a cold
+// pool.
+//
+//lint:hotpath
+func (to *TypedOmega) takeTG() *typedGrant {
+	if n := len(to.tgPool); n > 0 {
+		tg := to.tgPool[n-1]
+		to.tgPool = to.tgPool[:n-1]
+		return tg
+	}
+	//lint:ignore hotalloc cold-pool mint, amortized to zero once the pool warms; pinned by TestTypedAcquireZeroAlloc
+	return &typedGrant{}
+}
+
+// putTG returns a wrapper to the pool.
+//
+//lint:hotpath
+func (to *TypedOmega) putTG(tg *typedGrant) {
+	//lint:ignore hotalloc pool append reuses capacity after warm-up; pinned by TestTypedAcquireZeroAlloc
+	to.tgPool = append(to.tgPool, tg)
+}
+
 // eligible reports whether port j can accept a request for type t.
+//
+//lint:hotpath
 func (to *TypedOmega) eligible(j, t int) bool {
 	return !to.net.portBusy[j] && to.free[j][t] > 0
 }
 
 // eligibleMaskType is the per-type analogue of the untyped eligibility
 // mask: the OR over ports of the type-t availability registers.
+//
+//lint:hotpath
 func (to *TypedOmega) eligibleMaskType(t int) uint64 {
 	var m uint64
 	for j := 0; j < to.net.size; j++ {
@@ -108,6 +138,8 @@ func (to *TypedOmega) eligibleMaskType(t int) uint64 {
 // processor pid, using the same availability-guided reject/reroute
 // search as the untyped network but consulting the type-t availability
 // registers.
+//
+//lint:hotpath called once per allocation attempt when typed networks drive the engine
 func (to *TypedOmega) AcquireType(pid, t int) (core.Grant, bool) {
 	if t < 0 || t >= to.types {
 		panic(fmt.Sprintf("omega: type %d out of range", t))
@@ -122,9 +154,10 @@ func (to *TypedOmega) AcquireType(pid, t int) (core.Grant, bool) {
 		to.tel.ResourceBlock++
 		return core.Grant{}, false
 	}
-	wires := make([]int, 0, to.net.n)
-	port, ok := to.routeTyped(0, to.net.entry(pid), elig, &wires)
+	pg := to.net.takePath()
+	port, ok := to.routeTyped(0, to.net.entry(pid), elig, &pg.wires)
 	if !ok {
+		to.net.putPath(pg)
 		to.tel.Failures++
 		to.tel.PathBlock++
 		return core.Grant{}, false
@@ -137,14 +170,15 @@ func (to *TypedOmega) AcquireType(pid, t int) (core.Grant, bool) {
 	to.net.eligPorts--
 	to.free[port][t]--
 	to.tel.Grants++
-	g := core.Grant{Processor: pid, Port: port, Path: typedGrant{
-		inner: core.Grant{Processor: pid, Port: port, Path: pathGrant{wires: wires}},
-		typ:   t,
-	}}
-	return g, true
+	tg := to.takeTG()
+	tg.inner = core.Grant{Processor: pid, Port: port, Path: pg}
+	tg.typ = t
+	return core.Grant{Processor: pid, Port: port, Path: tg}, true
 }
 
 // routeTyped is the DFS of route with a per-type eligibility mask.
+//
+//lint:hotpath
 func (to *TypedOmega) routeTyped(s, pos int, elig uint64, wires *[]int) (int, bool) {
 	o := to.net
 	to.tel.BoxVisits++
@@ -166,6 +200,7 @@ func (to *TypedOmega) routeTyped(s, pos int, elig uint64, wires *[]int) (int, bo
 				continue
 			}
 			o.outOcc[s][out] = true
+			//lint:ignore hotalloc append into the pooled record's retained capacity; pinned by TestTypedAcquireZeroAlloc
 			*wires = append(*wires, out)
 			return out, true
 		}
@@ -176,6 +211,7 @@ func (to *TypedOmega) routeTyped(s, pos int, elig uint64, wires *[]int) (int, bo
 		o.outOcc[s][out] = true
 		port, ok := to.routeTyped(s+1, o.next(s, out), elig, wires)
 		if ok {
+			//lint:ignore hotalloc append into the pooled record's retained capacity; pinned by TestTypedAcquireZeroAlloc
 			*wires = append(*wires, out)
 			return port, true
 		}
@@ -190,18 +226,28 @@ func (to *TypedOmega) routeTyped(s, pos int, elig uint64, wires *[]int) (int, bo
 }
 
 // ReleasePath frees the circuit; the typed resource keeps serving.
+//
+//lint:hotpath
 func (to *TypedOmega) ReleasePath(g core.Grant) {
-	tg := g.Path.(typedGrant)
+	tg := g.Path.(*typedGrant)
 	to.net.ReleasePath(tg.inner)
 }
 
-// ReleaseResource returns the typed resource to its pool.
+// ReleaseResource returns the typed resource to its pool. This is the
+// grant's final release, so the wrapper and its path record recycle
+// here.
+//
+//lint:hotpath
 func (to *TypedOmega) ReleaseResource(g core.Grant) {
-	tg := g.Path.(typedGrant)
+	tg := g.Path.(*typedGrant)
 	if to.free[g.Port][tg.typ] >= to.cap[g.Port][tg.typ] {
 		panic("omega: typed ReleaseResource overflow")
 	}
 	to.free[g.Port][tg.typ]++
+	if pg, ok := tg.inner.Path.(*pathGrant); ok {
+		to.net.putPath(pg)
+	}
+	to.putTG(tg)
 }
 
 // Processors returns the number of processor connections.
@@ -260,10 +306,15 @@ type boundTyped struct {
 	typeOf []int
 }
 
+//lint:hotpath
 func (b *boundTyped) Acquire(pid int) (core.Grant, bool) {
 	return b.to.AcquireType(pid, b.typeOf[pid])
 }
-func (b *boundTyped) ReleasePath(g core.Grant)     { b.to.ReleasePath(g) }
+
+//lint:hotpath
+func (b *boundTyped) ReleasePath(g core.Grant) { b.to.ReleasePath(g) }
+
+//lint:hotpath
 func (b *boundTyped) ReleaseResource(g core.Grant) { b.to.ReleaseResource(g) }
 func (b *boundTyped) Processors() int              { return b.to.Processors() }
 func (b *boundTyped) Ports() int                   { return b.to.Ports() }

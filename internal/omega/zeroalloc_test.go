@@ -1,0 +1,113 @@
+package omega
+
+import (
+	"testing"
+
+	"rsin/internal/core"
+	"rsin/internal/invariant"
+)
+
+// TestOmegaAcquireZeroAlloc pins the steady-state allocation count of
+// the untyped network's full grant lifecycle — Acquire (DFS routing),
+// ReleasePath, ReleaseResource — and of the tag-routed baseline at
+// exactly zero once the path-record pool has warmed. This is the
+// runtime half of the pooling contract the //lint:ignore hotalloc
+// directives in omega.go cite: the static pass proves no *other*
+// allocation reaches the hot path, and this test proves the pool
+// appends and cold-pool mints amortize to zero.
+func TestOmegaAcquireZeroAlloc(t *testing.T) {
+	invariant.Enable(false)
+	defer invariant.Enable(true)
+
+	const n = 16
+	o := New(n, 1)
+
+	// Warm the pool to the peak number of concurrently outstanding
+	// grants this test ever holds: mint every record once.
+	grants := make([]core.Grant, 0, n)
+	for pid := 0; pid < n; pid++ {
+		if g, ok := o.Acquire(pid); ok {
+			grants = append(grants, g)
+		}
+	}
+	if len(grants) == 0 {
+		t.Fatal("warm-up acquired no grants")
+	}
+	for _, g := range grants {
+		o.ReleasePath(g)
+		o.ReleaseResource(g)
+	}
+
+	if avg := testing.AllocsPerRun(200, func() {
+		grants = grants[:0]
+		for pid := 0; pid < n; pid++ {
+			if g, ok := o.Acquire(pid); ok {
+				grants = append(grants, g)
+			}
+		}
+		for _, g := range grants {
+			o.ReleasePath(g)
+			o.ReleaseResource(g)
+		}
+	}); avg != 0 {
+		t.Errorf("Acquire/Release cycle allocates %g allocs/run, want 0", avg)
+	}
+
+	// Tag routing shares the same pool; its per-stage appends land in
+	// the record's retained capacity.
+	if avg := testing.AllocsPerRun(200, func() {
+		for pid := 0; pid < n; pid++ {
+			if g, ok := o.AcquireTag(pid, pid); ok {
+				o.ReleasePath(g)
+				o.ReleaseResource(g)
+			}
+		}
+	}); avg != 0 {
+		t.Errorf("AcquireTag/Release cycle allocates %g allocs/run, want 0", avg)
+	}
+}
+
+// TestTypedAcquireZeroAlloc is the typed-network analogue: the
+// typed-grant wrapper pool plus the substrate's path-record pool make
+// the AcquireType lifecycle allocation-free once warm — the claim the
+// //lint:ignore hotalloc directives in typed.go cite.
+func TestTypedAcquireZeroAlloc(t *testing.T) {
+	invariant.Enable(false)
+	defer invariant.Enable(true)
+
+	const n = 16
+	pools := make([][]int, n)
+	for j := range pools {
+		pools[j] = []int{1, 1}
+	}
+	to := NewTyped(n, pools)
+
+	grants := make([]core.Grant, 0, n)
+	for pid := 0; pid < n; pid++ {
+		if g, ok := to.AcquireType(pid, pid%2); ok {
+			grants = append(grants, g)
+		}
+	}
+	if len(grants) == 0 {
+		t.Fatal("warm-up acquired no grants")
+	}
+	for _, g := range grants {
+		to.ReleasePath(g)
+		to.ReleaseResource(g)
+	}
+
+	if avg := testing.AllocsPerRun(200, func() {
+		grants = grants[:0]
+		for pid := 0; pid < n; pid++ {
+			if g, ok := to.AcquireType(pid, pid%2); ok {
+				grants = append(grants, g)
+			}
+		}
+		for _, g := range grants {
+			to.ReleasePath(g)
+			to.ReleaseResource(g)
+		}
+	}); avg != 0 {
+		t.Errorf("AcquireType/Release cycle allocates %g allocs/run, want 0", avg)
+	}
+}

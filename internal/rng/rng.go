@@ -43,9 +43,12 @@ func (s *Source) Seed(seed uint64) {
 	}
 }
 
+//lint:hotpath
 func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
 
 // Uint64 returns the next value in the stream.
+//
+//lint:hotpath every simulated timer draws through here
 func (s *Source) Uint64() uint64 {
 	result := rotl(s.s[1]*5, 7) * 9
 	t := s.s[1] << 17
@@ -59,11 +62,15 @@ func (s *Source) Uint64() uint64 {
 }
 
 // Float64 returns a uniform variate in [0, 1) with 53 bits of precision.
+//
+//lint:hotpath
 func (s *Source) Float64() float64 {
 	return float64(s.Uint64()>>11) / (1 << 53)
 }
 
 // Intn returns a uniform integer in [0, n). It panics if n <= 0.
+//
+//lint:hotpath
 func (s *Source) Intn(n int) int {
 	if n <= 0 {
 		panic("rng: Intn called with non-positive n")
@@ -81,6 +88,8 @@ func (s *Source) Intn(n int) int {
 }
 
 // mul64 computes the 128-bit product of a and b.
+//
+//lint:hotpath
 func mul64(a, b uint64) (hi, lo uint64) {
 	const mask = 1<<32 - 1
 	aLo, aHi := a&mask, a>>32
@@ -95,6 +104,8 @@ func mul64(a, b uint64) (hi, lo uint64) {
 
 // Exp returns an exponentially distributed variate with the given rate
 // (mean 1/rate). It panics if rate <= 0.
+//
+//lint:hotpath draws every arrival, transmission, and service time
 func (s *Source) Exp(rate float64) float64 {
 	if rate <= 0 {
 		panic("rng: Exp called with non-positive rate")
@@ -157,6 +168,8 @@ func (s *Source) Perm(n int) []int {
 // consumes exactly the same variates as Perm(len(dst)) — callers on hot
 // paths (the simulator's WakeRandom policy) reuse one scratch slice
 // across calls without perturbing the stream.
+//
+//lint:hotpath
 func (s *Source) PermInto(dst []int) {
 	for i := range dst {
 		dst[i] = i

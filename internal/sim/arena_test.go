@@ -8,6 +8,7 @@ import (
 	"rsin/internal/core"
 	"rsin/internal/crossbar"
 	"rsin/internal/invariant"
+	"rsin/internal/omega"
 	"rsin/internal/rng"
 )
 
@@ -181,8 +182,9 @@ func TestHotStructuresZeroAlloc(t *testing.T) {
 // setup allocations (networks, tables, queues, result assembly) and
 // isolates the steady-state loop, which the arena + SoA + retained
 // capacity design makes allocation-free. Buses and crossbars grant
-// without per-grant path records; omega networks allocate a wire list
-// per grant by design, so they are not in this matrix.
+// without per-grant path records; omega networks and the Partitioned
+// combinator recycle their grant records through pools (warmed within
+// the short run, so the differential cancels the mints too).
 func TestRunSteadyStateZeroAlloc(t *testing.T) {
 	invariant.Enable(false)
 	defer invariant.Enable(true)
@@ -202,8 +204,16 @@ func TestRunSteadyStateZeroAlloc(t *testing.T) {
 		return m1.Mallocs - m0.Mallocs
 	}
 	nets := map[string]func() core.Network{
-		"SBUS": func() core.Network { return bus.New(64, 128) },
-		"XBAR": func() core.Network { return crossbar.New(64, 32, 1) },
+		"SBUS":  func() core.Network { return bus.New(64, 128) },
+		"XBAR":  func() core.Network { return crossbar.New(64, 32, 1) },
+		"OMEGA": func() core.Network { return omega.New(64, 2) },
+		"PART": func() core.Network {
+			subs := make([]core.Network, 4)
+			for i := range subs {
+				subs[i] = bus.New(16, 32)
+			}
+			return core.NewPartitioned(subs)
+		},
 	}
 	for name, mk := range nets {
 		for _, kind := range []EventQueueKind{EventQueueHeap, EventQueueCalendar} {

@@ -50,6 +50,7 @@ func newCalendarQueue() *calendarQueue {
 	return q
 }
 
+//lint:hotpath
 func (q *calendarQueue) len() int { return q.events }
 
 // setWidth installs a bucket width and its cached reciprocal.
@@ -76,6 +77,8 @@ func eventLess(a, b event) bool {
 
 // push files e into its day-bucket, keeping the bucket sorted by
 // (time, seq).
+//
+//lint:hotpath
 func (q *calendarQueue) push(e event) {
 	ep := q.epochOf(e.time)
 	if ep < q.cur || q.events == 0 {
@@ -86,6 +89,7 @@ func (q *calendarQueue) push(e event) {
 		// empty queue, jumping the cursor forward skips the dead years.
 		q.cur = ep
 	}
+	//lint:ignore hotalloc bucket growth stops once the ring fits the pending set (resize rebalances); pinned by TestHotStructuresZeroAlloc
 	b := append(q.buckets[int(ep)&q.mask], e)
 	// Backward shift to the insertion point; ties sort after existing
 	// members (seq is strictly increasing, so a tie on time always
@@ -99,12 +103,15 @@ func (q *calendarQueue) push(e event) {
 	q.buckets[int(ep)&q.mask] = b
 	q.events++
 	if q.events > q.growAt {
+		//lint:ignore hotalloc amortized O(1) ring rebuild, doubling thresholds; pinned by TestHotStructuresZeroAlloc
 		q.resize()
 	}
 }
 
 // pop removes and returns the (time, seq)-minimum event. The queue must
 // be nonempty.
+//
+//lint:hotpath
 func (q *calendarQueue) pop() event {
 	// Walk day-buckets from the cursor. A bucket's head belongs to the
 	// current year exactly when its epoch matches — a head from a later
@@ -121,6 +128,7 @@ func (q *calendarQueue) pop() event {
 			if q.events < q.shrink {
 				e := b[0]
 				q.removeHead(bi)
+				//lint:ignore hotalloc amortized O(1) ring rebuild, halving thresholds; pinned by TestHotStructuresZeroAlloc
 				q.resize()
 				return e
 			}
@@ -145,6 +153,7 @@ func (q *calendarQueue) pop() event {
 	q.events--
 	if q.events < q.shrink {
 		q.removeHead(bi)
+		//lint:ignore hotalloc amortized O(1) ring rebuild, halving thresholds; pinned by TestHotStructuresZeroAlloc
 		q.resize()
 		return best
 	}
@@ -152,6 +161,8 @@ func (q *calendarQueue) pop() event {
 }
 
 // removeHead pops bucket bi's head, retaining the bucket's capacity.
+//
+//lint:hotpath
 func (q *calendarQueue) removeHead(bi int) event {
 	b := q.buckets[bi]
 	e := b[0]

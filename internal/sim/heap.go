@@ -25,8 +25,10 @@ type eventHeap struct {
 	items []event
 }
 
+//lint:hotpath
 func (h *eventHeap) len() int { return len(h.items) }
 
+//lint:hotpath
 func (h *eventHeap) less(a, b event) bool {
 	if a.time != b.time {
 		return a.time < b.time
@@ -34,7 +36,9 @@ func (h *eventHeap) less(a, b event) bool {
 	return a.seq < b.seq
 }
 
+//lint:hotpath
 func (h *eventHeap) push(e event) {
+	//lint:ignore hotalloc heap growth stops at the run's peak pending-event count; pinned by TestHotStructuresZeroAlloc
 	h.items = append(h.items, e)
 	i := len(h.items) - 1
 	for i > 0 {
@@ -47,6 +51,7 @@ func (h *eventHeap) push(e event) {
 	}
 }
 
+//lint:hotpath
 func (h *eventHeap) pop() event {
 	top := h.items[0]
 	last := len(h.items) - 1

@@ -274,15 +274,18 @@ func Run(net core.Network, cfg Config) (res Result, err error) {
 	// in-progress batch).
 	delays.Reserve(cfg.Samples/cfg.BatchSize + 1)
 	responses.Reserve(cfg.Samples/cfg.BatchSize + 1)
+	//lint:hotpath event scheduling, one call per simulated event
 	schedule := func(e event) {
 		e.seq = seq
 		seq++
 		q.push(e)
 	}
+	//lint:hotpath queue-length accumulator update
 	setQ := func(delta int) {
 		totalQ += delta
 		queueLen.Set(now, float64(totalQ))
 	}
+	//lint:hotpath busy-port accumulator update
 	setBusy := func(delta int) {
 		busyPorts += delta
 		busyTW.Set(now, float64(busyPorts))
@@ -314,6 +317,7 @@ func Run(net core.Network, cfg Config) (res Result, err error) {
 
 	// startTx begins transmission for pid's head-of-queue task (already
 	// granted). Returns the queueing delay of the task.
+	//lint:hotpath grant-to-transmission turnaround
 	startTx := func(pid int, g core.Grant) float64 {
 		arrivedAt := pt.popFront(pid)
 		setQ(-1)
@@ -322,6 +326,7 @@ func Run(net core.Network, cfg Config) (res Result, err error) {
 		gi := grants.put(g, arrivedAt)
 		schedule(event{time: now + src.Exp(cfg.MuN), kind: evTxDone, pid: pid, gidx: gi})
 		d := now - arrivedAt
+		//lint:coldpath probe emission, nil on the measured fast path
 		if probe != nil {
 			probe.Event(obs.Event{T: now, Kind: obs.KindTransmitStart, Pid: pid, Port: g.Port, Dur: d})
 		}
@@ -332,12 +337,14 @@ func Run(net core.Network, cfg Config) (res Result, err error) {
 	if cfg.CollectDelays {
 		kept = make([]float64, 0, cfg.Samples)
 	}
+	//lint:hotpath per-sample delay recording
 	recordDelay := func(d float64) {
 		if !warmedUp {
 			return
 		}
 		delays.Add(d)
 		if cfg.CollectDelays {
+			//lint:ignore hotalloc kept has full-run capacity reserved above; pinned by TestRunSteadyStateZeroAlloc
 			kept = append(kept, d)
 		}
 		collected++
@@ -346,6 +353,7 @@ func Run(net core.Network, cfg Config) (res Result, err error) {
 	// tryStart attempts to begin transmission for pid if it has queued
 	// work and is idle, registering pid as a blocked waiter when the
 	// attempt fails and clearing it on a grant.
+	//lint:hotpath allocation attempt, runs on every arrival and wake
 	tryStart := func(pid int) bool {
 		if pt.transmitting[pid] || pt.qlen[pid] == 0 {
 			return false
@@ -363,11 +371,13 @@ func Run(net core.Network, cfg Config) (res Result, err error) {
 			return false
 		}
 		var rejBefore int64
+		//lint:coldpath probe emission, nil on the measured fast path
 		if probe != nil {
 			rejBefore = rejectCount()
 		}
 		g, ok := net.Acquire(pid)
 		if !ok {
+			//lint:coldpath probe emission, nil on the measured fast path
 			if probe != nil {
 				if rej := rejectCount() - rejBefore; rej > 0 {
 					probe.Event(obs.Event{T: now, Kind: obs.KindReject, Pid: pid, Port: -1, Aux: rej})
@@ -376,6 +386,7 @@ func Run(net core.Network, cfg Config) (res Result, err error) {
 			blocked.add(pid)
 			return false
 		}
+		//lint:coldpath probe emission, nil on the measured fast path
 		if probe != nil {
 			probe.Event(obs.Event{T: now, Kind: obs.KindGrant, Pid: pid, Port: g.Port, Aux: rejectCount() - rejBefore})
 		}
@@ -456,8 +467,10 @@ func Run(net core.Network, cfg Config) (res Result, err error) {
 	// independent exponential delays — the paper's de-synchronization
 	// suggestion — visiting waiters in the ascending order the legacy
 	// scan used.
+	//lint:hotpath post-release retry engine
 	wake := func() {
 		if cfg.legacyWake {
+			//lint:ignore hotalloc legacy oracle engine, reachable only from this package's differential tests (src.Perm allocates by design)
 			wakeLegacy()
 			return
 		}
@@ -509,6 +522,7 @@ func Run(net core.Network, cfg Config) (res Result, err error) {
 		}
 	}
 
+	//lint:hotpath the event loop — everything below runs once per simulated event
 	for collected < cfg.Samples {
 		if q.len() == 0 {
 			break // λ == 0: nothing will ever happen
@@ -529,11 +543,13 @@ func Run(net core.Network, cfg Config) (res Result, err error) {
 		switch e.kind {
 		case evArrival:
 			arrivedTotal++
+			//lint:coldpath probe emission, nil on the measured fast path
 			if probe != nil {
 				probe.Event(obs.Event{T: now, Kind: obs.KindArrival, Pid: e.pid, Port: -1})
 			}
 			pt.push(e.pid, now)
 			setQ(1)
+			//lint:coldpath saturation abort, terminates the run
 			if pt.queued(e.pid) >= cfg.MaxQueue {
 				return Result{}, fmt.Errorf("%w (processor %d, t=%g)", ErrSaturated, e.pid, now)
 			}
@@ -541,6 +557,7 @@ func Run(net core.Network, cfg Config) (res Result, err error) {
 			// before the allocation attempt so probes see the causal
 			// order enqueue → grant. Aux is the queue length including
 			// this task.
+			//lint:coldpath probe emission, nil on the measured fast path
 			if probe != nil {
 				probe.Event(obs.Event{T: now, Kind: obs.KindEnqueue, Pid: e.pid, Port: -1, Aux: int64(pt.queued(e.pid))})
 			}
@@ -560,6 +577,7 @@ func Run(net core.Network, cfg Config) (res Result, err error) {
 			inService++
 			grants.markTx(e.gidx, now)
 			schedule(event{time: now + src.Exp(cfg.MuS), kind: evSvcDone, gidx: e.gidx})
+			//lint:coldpath probe emission, nil on the measured fast path
 			if probe != nil {
 				probe.Event(obs.Event{T: now, Kind: obs.KindTransmitEnd, Pid: e.pid, Port: g.Port})
 			}
@@ -579,6 +597,7 @@ func Run(net core.Network, cfg Config) (res Result, err error) {
 			if warmedUp && s.arrived >= cfg.Warmup {
 				responses.Add(now - s.arrived)
 			}
+			//lint:coldpath probe emission, nil on the measured fast path
 			if probe != nil {
 				probe.Event(obs.Event{T: now, Kind: obs.KindRelease, Pid: s.g.Processor, Port: s.g.Port, Dur: now - s.txDone})
 			}
@@ -647,6 +666,7 @@ type grantSlot struct {
 
 func newGrantTable() *grantTable { return &grantTable{} }
 
+//lint:hotpath
 func (t *grantTable) put(g core.Grant, arrived float64) int {
 	if n := len(t.free); n > 0 {
 		i := t.free[n-1]
@@ -654,22 +674,28 @@ func (t *grantTable) put(g core.Grant, arrived float64) int {
 		t.slots[i] = grantSlot{g: g, arrived: arrived}
 		return i
 	}
+	//lint:ignore hotalloc slot growth stops at the run's peak concurrency; pinned by TestHotStructuresZeroAlloc
 	t.slots = append(t.slots, grantSlot{g: g, arrived: arrived})
 	return len(t.slots) - 1
 }
 
+//lint:hotpath
 func (t *grantTable) get(i int) core.Grant { return t.slots[i].g }
 
 // markTx stamps the time slot i's transmission completed, so the
 // service-release event can report the service span.
+//
+//lint:hotpath
 func (t *grantTable) markTx(i int, tx float64) { t.slots[i].txDone = tx }
 
 // outstanding counts grants currently held (put but not yet taken).
 func (t *grantTable) outstanding() int { return len(t.slots) - len(t.free) }
 
+//lint:hotpath
 func (t *grantTable) take(i int) grantSlot {
 	s := t.slots[i]
 	t.slots[i] = grantSlot{}
+	//lint:ignore hotalloc free-list append reuses capacity released by put; pinned by TestHotStructuresZeroAlloc
 	t.free = append(t.free, i)
 	return s
 }

@@ -42,6 +42,8 @@ func newProcTable(p, capHint int) *procTable {
 }
 
 // push appends a task with the given arrival time to pid's FIFO.
+//
+//lint:hotpath
 func (pt *procTable) push(pid int, arrival float64) {
 	i := pt.arena.alloc(arrival)
 	if tail := pt.qtail[pid]; tail != arenaNil {
@@ -55,6 +57,8 @@ func (pt *procTable) push(pid int, arrival float64) {
 
 // popFront removes pid's head-of-queue task and returns its arrival
 // time. The queue must be nonempty.
+//
+//lint:hotpath
 func (pt *procTable) popFront(pid int) float64 {
 	i := pt.qhead[pid]
 	arrival := pt.arena.arrival[i]
@@ -69,6 +73,8 @@ func (pt *procTable) popFront(pid int) float64 {
 }
 
 // queued returns the number of tasks waiting in pid's FIFO.
+//
+//lint:hotpath
 func (pt *procTable) queued(pid int) int { return int(pt.qlen[pid]) }
 
 // blocked reports the blocked-waiter predicate for pid: idle with a

@@ -23,6 +23,8 @@ func newWaiterSet(p int) *waiterSet {
 }
 
 // add inserts pid; inserting a member is a no-op.
+//
+//lint:hotpath
 func (ws *waiterSet) add(pid int) {
 	w, b := pid>>6, uint(pid&63)
 	if ws.words[w]&(1<<b) == 0 {
@@ -32,6 +34,8 @@ func (ws *waiterSet) add(pid int) {
 }
 
 // remove deletes pid; deleting a non-member is a no-op.
+//
+//lint:hotpath
 func (ws *waiterSet) remove(pid int) {
 	w, b := pid>>6, uint(pid&63)
 	if ws.words[w]&(1<<b) != 0 {
@@ -41,6 +45,8 @@ func (ws *waiterSet) remove(pid int) {
 }
 
 // contains reports membership of pid.
+//
+//lint:hotpath
 func (ws *waiterSet) contains(pid int) bool {
 	return ws.words[pid>>6]&(1<<uint(pid&63)) != 0
 }
@@ -55,6 +61,8 @@ func (ws *waiterSet) empty() bool { return ws.n == 0 }
 // below the cursor), which is the only mutation a wake pass performs —
 // a grant removes the granted waiter and can never add one, since
 // grants only consume network capacity.
+//
+//lint:hotpath
 func (ws *waiterSet) next(from int) int {
 	if from < 0 {
 		from = 0

@@ -33,6 +33,8 @@ type Welford struct {
 }
 
 // Add incorporates one observation.
+//
+//lint:hotpath fed once per collected delay sample
 func (w *Welford) Add(x float64) {
 	w.n++
 	if w.n == 1 {
@@ -109,6 +111,8 @@ type TimeWeighted struct {
 
 // Set records that the variable takes value v at time t. Times must be
 // non-decreasing.
+//
+//lint:hotpath updated on every queue-length and utilization change
 func (tw *TimeWeighted) Set(t, v float64) {
 	if tw.started {
 		if t < tw.lastT {
@@ -184,9 +188,12 @@ func NewBatchMeans(batchSize int64) *BatchMeans {
 }
 
 // Add incorporates one observation.
+//
+//lint:hotpath
 func (b *BatchMeans) Add(x float64) {
 	b.cur.Add(x)
 	if b.cur.N() == b.batchSize {
+		//lint:ignore hotalloc Reserve pre-sizes the batch slice for the run's sample budget; pinned by TestRunSteadyStateZeroAlloc
 		b.batches = append(b.batches, b.cur.Mean())
 		b.cur = Welford{}
 	}
@@ -297,6 +304,8 @@ func NewHistogram(lo, hi float64, n int) *Histogram {
 }
 
 // Add incorporates one observation.
+//
+//lint:hotpath
 func (h *Histogram) Add(x float64) {
 	h.total++
 	h.sum += x
@@ -380,6 +389,8 @@ func NewLog2Histogram(minExp, maxExp int) *Log2Histogram {
 }
 
 // Add incorporates one observation.
+//
+//lint:hotpath
 func (h *Log2Histogram) Add(x float64) {
 	h.total++
 	h.sum += x
