@@ -3,7 +3,13 @@
 
 GO ?= go
 
-.PHONY: build test test-race test-invariant lint figures bench bench-check
+.PHONY: build test test-race test-invariant lint lint-certify figures bench bench-check
+
+# The roots of the determinism certificate: the engine entry point,
+# the runner worker loop, and both event-queue implementations. The
+# sharded-engine work (ROADMAP item 2) consumes the certificate as its
+# precondition.
+CERT_ROOTS = internal/sim.Run,internal/runner.Map,internal/sim.(*eventHeap).push,internal/sim.(*eventHeap).pop,internal/sim.(*calendarQueue).push,internal/sim.(*calendarQueue).pop
 
 build:
 	$(GO) build ./...
@@ -20,6 +26,12 @@ test-invariant:
 lint:
 	$(GO) vet ./...
 	$(GO) run ./cmd/rsinlint ./...
+
+# Regenerate the committed determinism certificate (review the diff!).
+# CI re-runs this and fails on any difference against the committed
+# lint/determinism.cert.json.
+lint-certify:
+	$(GO) run ./cmd/rsinlint -certify '$(CERT_ROOTS)'
 
 # Regenerate the committed figures golden (review the diff!).
 figures:

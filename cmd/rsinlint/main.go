@@ -10,6 +10,7 @@
 // Usage:
 //
 //	go run ./cmd/rsinlint [-tags taglist] [-json] [-analyzers list] [-callgraph-dot file] [packages]
+//	go run ./cmd/rsinlint -certify <root>[,<root>...] [-certify-out file] [packages]
 //	go run ./cmd/rsinlint -explain <analyzer>
 //
 // Package patterns are module-relative ("./...", "./internal/sim");
@@ -20,6 +21,16 @@
 // analyzer names (unknown names are an error). -callgraph-dot writes
 // the interprocedural call graph, with hot-path nodes highlighted, in
 // Graphviz DOT form for debugging.
+//
+// -certify switches to certification mode: the named root functions
+// ("internal/sim.Run", "sim.Run" and full "rsin/internal/sim.Run"
+// forms all resolve) are closed over the call graph and every member
+// is proven free of shard-determinism hazards, or the witness call
+// chains are reported. The byte-stable JSON certificate is written to
+// -certify-out (default lint/determinism.cert.json under the module
+// root; "-" writes to stdout). The exit status is 1 when the
+// certificate is not clean. CI regenerates the certificate and fails
+// on any diff against the committed copy.
 //
 // Findings can be suppressed at the reporting site with a directive
 // on the same line or the line above:
@@ -61,10 +72,19 @@ func main() {
 	explain := flag.String("explain", "", "print the documentation of one analyzer and exit")
 	subset := flag.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
 	dotFile := flag.String("callgraph-dot", "", "write the interprocedural call graph to this file in Graphviz DOT form")
+	certify := flag.String("certify", "", "comma-separated root functions to certify for determinism (e.g. internal/sim.Run)")
+	certifyOut := flag.String("certify-out", "", "certificate output path, module-relative (default lint/determinism.cert.json; \"-\" for stdout)")
 	flag.Usage = usage
 	flag.Parse()
 	if *explain != "" {
 		if err := runExplain(*explain); err != nil {
+			fmt.Fprintln(os.Stderr, "rsinlint:", err)
+			os.Exit(2)
+		}
+		return
+	}
+	if *certify != "" {
+		if err := runCertify(*tags, *certify, *certifyOut, flag.Args()); err != nil {
 			fmt.Fprintln(os.Stderr, "rsinlint:", err)
 			os.Exit(2)
 		}
@@ -172,10 +192,49 @@ type report struct {
 	Suppressed int       `json:"suppressed"`
 }
 
-func run(tags string, jsonOut bool, subset, dotFile string, patterns []string) error {
+// loadUniverse expands patterns, loads every target package, and
+// builds the shared interprocedural universe over the result.
+func loadUniverse(tags string, patterns []string) (pkgs []*lint.Package, uni *lint.Universe, loader *lint.Loader, err error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	root, modPath, err := lint.FindModule(cwd)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var tagList []string
+	for _, t := range strings.Split(tags, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			tagList = append(tagList, t)
+		}
+	}
+	loader = lint.NewLoader(root, modPath, tagList)
+	paths, err := loader.Packages(patterns)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if len(paths) == 0 {
+		return nil, nil, nil, fmt.Errorf("no packages match %v", patterns)
+	}
+	// Load everything first: the interprocedural universe (call graph,
+	// summaries, hotpath marks) is built once over the whole target set
+	// plus its module-local dependencies, then shared by every pass.
+	pkgs = make([]*lint.Package, 0, len(paths))
+	for _, path := range paths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, lint.NewUniverse(loader), loader, nil
+}
+
+func run(tags string, jsonOut bool, subset, dotFile string, patterns []string) error {
 	analyzers, err := selectAnalyzers(subset)
 	if err != nil {
 		return err
@@ -184,36 +243,10 @@ func run(tags string, jsonOut bool, subset, dotFile string, patterns []string) e
 	if err != nil {
 		return err
 	}
-	root, modPath, err := lint.FindModule(cwd)
+	pkgs, uni, loader, err := loadUniverse(tags, patterns)
 	if err != nil {
 		return err
 	}
-	var tagList []string
-	for _, t := range strings.Split(tags, ",") {
-		if t = strings.TrimSpace(t); t != "" {
-			tagList = append(tagList, t)
-		}
-	}
-	loader := lint.NewLoader(root, modPath, tagList)
-	paths, err := loader.Packages(patterns)
-	if err != nil {
-		return err
-	}
-	if len(paths) == 0 {
-		return fmt.Errorf("no packages match %v", patterns)
-	}
-	// Load everything first: the interprocedural universe (call graph,
-	// summaries, hotpath marks) is built once over the whole target set
-	// plus its module-local dependencies, then shared by every pass.
-	pkgs := make([]*lint.Package, 0, len(paths))
-	for _, path := range paths {
-		pkg, err := loader.Load(path)
-		if err != nil {
-			return err
-		}
-		pkgs = append(pkgs, pkg)
-	}
-	uni := lint.NewUniverse(loader)
 	if dotFile != "" {
 		if err := writeDOT(uni, dotFile); err != nil {
 			return err
@@ -254,5 +287,61 @@ func run(tags string, jsonOut bool, subset, dotFile string, patterns []string) e
 	if len(out.Findings) > 0 {
 		os.Exit(1)
 	}
+	return nil
+}
+
+// runCertify implements -certify: close the named roots over the call
+// graph, prove every member clean or print the witness chains, and
+// write the byte-stable certificate.
+func runCertify(tags, rootSpec, outPath string, patterns []string) error {
+	_, uni, _, err := loadUniverse(tags, patterns)
+	if err != nil {
+		return err
+	}
+	var roots []string
+	for _, r := range strings.Split(rootSpec, ",") {
+		if r = strings.TrimSpace(r); r != "" {
+			roots = append(roots, r)
+		}
+	}
+	res, err := lint.Certify(uni, roots)
+	if err != nil {
+		return err
+	}
+	data, err := res.Cert.Render()
+	if err != nil {
+		return err
+	}
+	if outPath == "-" {
+		os.Stdout.Write(data)
+	} else {
+		if outPath == "" {
+			outPath = filepath.Join("lint", "determinism.cert.json")
+		}
+		if !filepath.IsAbs(outPath) {
+			outPath = filepath.Join(uni.ModuleRoot, outPath)
+		}
+		if err := os.MkdirAll(filepath.Dir(outPath), 0o755); err != nil {
+			return err
+		}
+		if err := os.WriteFile(outPath, data, 0o644); err != nil {
+			return err
+		}
+	}
+	cwd, _ := os.Getwd()
+	for _, d := range res.Findings {
+		name := d.Pos.Filename
+		if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
+			name = rel
+		}
+		fmt.Fprintf(os.Stderr, "%s:%d:%d: [%s] %s\n", name, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+	}
+	if !res.Cert.Clean {
+		fmt.Fprintf(os.Stderr, "rsinlint: certificate NOT clean: %d finding(s) over %d functions\n",
+			len(res.Findings), res.Cert.Closure.Functions)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "rsinlint: certified %s: %d functions across %d packages, clean\n",
+		strings.Join(res.Cert.Roots, ", "), res.Cert.Closure.Functions, len(res.Cert.Closure.Packages))
 	return nil
 }

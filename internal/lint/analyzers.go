@@ -8,6 +8,6 @@ func All() []*Analyzer {
 	return []*Analyzer{
 		NoRand, NoClock, MapOrder, SeedFlow,
 		FloatSafe, ErrFlow, SharedState, ProbRange,
-		HotAlloc,
+		HotAlloc, PureDet,
 	}
 }

@@ -1,0 +1,160 @@
+package callgraph
+
+import (
+	"strings"
+	"testing"
+)
+
+const closureSrc = `package p
+
+type ring interface{ spin() int }
+
+type disk struct{}
+
+func (disk) spin() int { return inner() }
+
+func inner() int { return 7 }
+
+func Root(r ring) int {
+	n := r.spin()
+	n += helper(n)
+	return n
+}
+
+func helper(n int) int {
+	f := func(x int) int { return x + 1 }
+	return f(n)
+}
+
+func Unreached() int { return 0 }
+
+func WithDynamic(fn func() int) int { return fn() }
+`
+
+// TestReachClosure pins the reachability walk: interface edges resolved
+// by CHA pull implementations (and their callees) into the closure,
+// closure-bound literals are members, unreached functions are not, and
+// PathTo reconstructs a root-anchored call chain for every member.
+func TestReachClosure(t *testing.T) {
+	fset, sp := check(t, closureSrc)
+	g := Build(fset, []*SourcePkg{sp})
+
+	root := node(t, g, "p.Root")
+	c := g.Reach([]*Node{root})
+
+	for _, want := range []string{"p.Root", "p.disk.spin", "p.inner", "p.helper", "p.helper$f"} {
+		if !c.Contains(node(t, g, want)) {
+			t.Errorf("closure misses %s", want)
+		}
+	}
+	for _, absent := range []string{"p.Unreached", "p.WithDynamic"} {
+		if c.Contains(node(t, g, absent)) {
+			t.Errorf("closure wrongly contains %s", absent)
+		}
+	}
+	if len(c.Obligations) != 0 {
+		t.Errorf("fully resolvable closure has %d obligations, want 0", len(c.Obligations))
+	}
+
+	path := c.PathTo(node(t, g, "p.inner"))
+	if got := DescribePath(path); got != "p.Root → p.disk.spin → p.inner" {
+		t.Errorf("PathTo(inner) = %q, want root→spin→inner chain", got)
+	}
+	if p := c.PathTo(node(t, g, "p.Unreached")); p != nil {
+		t.Errorf("PathTo(non-member) = %v, want nil", p)
+	}
+
+	// Deterministic member order: sorted by FullName.
+	for i := 1; i < len(c.Nodes); i++ {
+		if c.Nodes[i-1].FullName() > c.Nodes[i].FullName() {
+			t.Errorf("closure nodes unsorted: %s after %s",
+				c.Nodes[i].FullName(), c.Nodes[i-1].FullName())
+		}
+	}
+}
+
+const obligationSrc = `package p
+
+func Root(fn func() int) int {
+	n := fn()
+	return n + fixed()
+}
+
+func fixed() int {
+	lit := func() int { return 1 }
+	return lit()
+}
+`
+
+// TestReachObligations pins obligation collection: a dynamic call in a
+// member yields exactly one dynamic obligation attributed to its
+// caller, and resolved closure calls yield none.
+func TestReachObligations(t *testing.T) {
+	fset, sp := check(t, obligationSrc)
+	g := Build(fset, []*SourcePkg{sp})
+
+	c := g.Reach([]*Node{node(t, g, "p.Root")})
+	if len(c.Obligations) != 1 {
+		t.Fatalf("got %d obligations, want 1 (the dynamic fn())", len(c.Obligations))
+	}
+	ob := c.Obligations[0]
+	if ob.Kind != ObligationDynamic {
+		t.Errorf("obligation kind = %v, want dynamic", ob.Kind)
+	}
+	if ob.Caller.Name != "p.Root" {
+		t.Errorf("obligation caller = %s, want p.Root", ob.Caller.Name)
+	}
+	if !c.Contains(node(t, g, "p.fixed$lit")) {
+		t.Error("closure-bound literal p.fixed$lit missing from closure")
+	}
+}
+
+const lexicalSrc = `package p
+
+type sorter interface{ Len() int }
+
+func Root(xs []int) {
+	use(func(i, j int) bool { return xs[i] < xs[j] })
+}
+
+func use(less func(i, j int) bool) { _ = less }
+`
+
+// TestLexicalLiteralInclusion: a literal passed as an argument (no call
+// edge from the root) is still a closure member, because the callee may
+// invoke it — the sort.Slice comparator pattern.
+func TestLexicalLiteralInclusion(t *testing.T) {
+	fset, sp := check(t, lexicalSrc)
+	g := Build(fset, []*SourcePkg{sp})
+
+	c := g.Reach([]*Node{node(t, g, "p.Root")})
+	found := false
+	for _, n := range c.Nodes {
+		if n.Lit != nil && strings.HasPrefix(n.Name, "p.Root$") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("argument literal of p.Root missing from closure")
+	}
+}
+
+// TestFullNameAndFindFunc pins root-spec resolution: full paths, short
+// names and suffix matches all resolve; misses return nothing.
+func TestFullNameAndFindFunc(t *testing.T) {
+	fset, sp := check(t, closureSrc)
+	g := Build(fset, []*SourcePkg{sp})
+
+	if got := node(t, g, "p.Root").FullName(); got != "p.Root" {
+		t.Errorf("FullName = %q, want p.Root", got)
+	}
+	if got := node(t, g, "p.disk.spin").FullName(); got != "p.disk.spin" {
+		t.Errorf("method FullName = %q, want p.disk.spin", got)
+	}
+	if ns := g.FindFunc("p.Root"); len(ns) != 1 || ns[0].Name != "p.Root" {
+		t.Errorf("FindFunc(p.Root) = %v, want the single root node", ns)
+	}
+	if ns := g.FindFunc("p.NoSuch"); len(ns) != 0 {
+		t.Errorf("FindFunc miss returned %d nodes, want 0", len(ns))
+	}
+}

@@ -1,0 +1,473 @@
+// Determinism certification: prove the full call closure of named root
+// functions free of shard-determinism hazards, or report every witness
+// chain. The certifier walks the call graph closure of the roots
+// (static, closure and CHA-resolved interface edges), checks each
+// member's determinism facts where they are grounded, classifies the
+// edges it cannot close over (dynamic and external calls) as
+// obligations, folds //lint:ignore puredet suppressions in as recorded
+// waivers, and renders the result as a byte-stable JSON certificate
+// that CI regenerates and diffs. The sharding engine (ROADMAP item 2)
+// consumes the committed certificate as its precondition.
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"rsin/internal/lint/callgraph"
+	"rsin/internal/lint/summary"
+)
+
+// CertSchema identifies the certificate JSON format.
+const CertSchema = "rsin-determinism-cert/1"
+
+// certFacts is the fixed verdict order of a certificate.
+var certFacts = []string{
+	"WritesGlobal", "RangesMapToSink", "SpawnsGoroutine",
+	"SelectsNondet", "ReadsClock", "GlobalRand",
+}
+
+// detExternalOK are standard-library packages whose calls carry no
+// determinism obligation: pure computation and data-structure
+// manipulation, formatting (fmt formats maps in sorted key order; the
+// writer an Fprint call targets is certified separately), and the sync
+// primitives, which order memory rather than produce values — the
+// interleaving hazards they coordinate are tracked by the
+// SpawnsGoroutine/SelectsNondet facts. The clock and global-rand
+// packages are listed because the fact system owns them: a time.Now or
+// math/rand call surfaces as a ReadsClock/GlobalRand verdict, not as a
+// second, redundant obligation.
+var detExternalOK = map[string]bool{
+	"math": true, "math/bits": true, "math/cmplx": true,
+	"sort": true, "slices": true, "cmp": true, "container/heap": true,
+	"errors": true, "strconv": true, "strings": true, "bytes": true,
+	"unicode": true, "unicode/utf8": true, "fmt": true, "io": true,
+	"bufio": true, "encoding/json": true, "encoding/csv": true,
+	"encoding/binary": true, "hash/fnv": true, "hash": true,
+	"sync": true, "sync/atomic": true,
+	"time": true, "math/rand": true, "math/rand/v2": true,
+}
+
+// Certificate is the machine-readable determinism certificate.
+type Certificate struct {
+	Schema      string           `json:"schema"`
+	Module      string           `json:"module"`
+	Roots       []string         `json:"roots"`
+	Closure     CertClosure      `json:"closure"`
+	Verdicts    []CertVerdict    `json:"verdicts"`
+	Violations  []CertViolation  `json:"violations"`
+	Waivers     []CertWaiver     `json:"waivers"`
+	Obligations []CertObligation `json:"obligations"`
+	Clean       bool             `json:"clean"`
+}
+
+// CertClosure summarizes the reachable set under the roots.
+type CertClosure struct {
+	Functions int      `json:"functions"`
+	Packages  []string `json:"packages"`
+}
+
+// CertVerdict is the per-fact outcome over the whole closure.
+type CertVerdict struct {
+	Fact       string `json:"fact"`
+	Clean      bool   `json:"clean"`
+	Violations int    `json:"violations"`
+	Waived     int    `json:"waived"`
+	Suppressed int    `json:"suppressed"`
+}
+
+// CertViolation is one grounded determinism fact inside the closure,
+// with the full root-to-operation witness chain. A suppressed violation
+// stays in the certificate with its directive reason.
+type CertViolation struct {
+	Func       string `json:"func"`
+	Fact       string `json:"fact"`
+	Site       string `json:"site"`
+	Chain      string `json:"chain"`
+	Suppressed bool   `json:"suppressed,omitempty"`
+	Reason     string `json:"reason,omitempty"`
+}
+
+// CertWaiver is a fact the certification policy exempts rather than
+// the code suppressing: recorded so the exemption stays visible.
+type CertWaiver struct {
+	Func   string `json:"func"`
+	Fact   string `json:"fact"`
+	Site   string `json:"site"`
+	Policy string `json:"policy"`
+}
+
+// CertObligation is one edge the closure walk could not verify — an
+// indirect call or a call into a non-allowlisted external package.
+// Unsuppressed obligations make the certificate unclean.
+type CertObligation struct {
+	Func       string `json:"func"`
+	Kind       string `json:"kind"`
+	Callee     string `json:"callee,omitempty"`
+	Site       string `json:"site"`
+	Suppressed bool   `json:"suppressed,omitempty"`
+	Reason     string `json:"reason,omitempty"`
+}
+
+// CertifyResult pairs the certificate with the findings that survived
+// suppression (the CLI prints these and fails the run on any).
+type CertifyResult struct {
+	Cert     *Certificate
+	Findings []Diagnostic
+}
+
+// factWaiverPolicy returns the policy under which a grounded fact in
+// pkg is waived instead of reported, or "" for none.
+func factWaiverPolicy(fact, pkg string) string {
+	if coldPkgs[pkg] {
+		return "cold package " + pkg + " (compiled to no-ops in production builds)"
+	}
+	switch fact {
+	case "ReadsClock":
+		if uniClockExempt[pkg] {
+			return "clock-exempt package " + pkg + " (sanctioned telemetry timestamps)"
+		}
+	case "SpawnsGoroutine", "SelectsNondet":
+		if uniConcExempt[pkg] {
+			return "concurrency-exempt package " + pkg +
+				" (worker-pool merge determinism pinned by byte-identity tests)"
+		}
+	}
+	return ""
+}
+
+// groundedHere reports whether a fact's witness chain is anchored in
+// the function that carries it, as opposed to inherited from a callee
+// through a plain call step. Every inherited fact is grounded at some
+// other closure member (the closure follows the same edges summaries
+// propagate over), so checking grounded facts only reports each
+// violation exactly once. RangesMapToSink is special: a chain leaving
+// the loop through a call edge is still anchored at the loop.
+func groundedHere(fact string, path []summary.Step) bool {
+	if len(path) == 0 {
+		return false
+	}
+	if path[0].Callee == nil {
+		return true
+	}
+	return fact == "RangesMapToSink" && path[0].What == summary.StepRangeCall
+}
+
+// Certify resolves rootSpecs against the universe's call graph, walks
+// their closure, and produces the determinism certificate plus the
+// findings that survived //lint:ignore puredet suppression.
+func Certify(uni *Universe, rootSpecs []string) (*CertifyResult, error) {
+	if len(rootSpecs) == 0 {
+		return nil, fmt.Errorf("certify: no roots given")
+	}
+	var roots []*callgraph.Node
+	for _, spec := range rootSpecs {
+		ns := uni.Graph.FindFunc(spec)
+		switch len(ns) {
+		case 0:
+			return nil, fmt.Errorf("certify: no function matches root %q", spec)
+		case 1:
+			roots = append(roots, ns[0])
+		default:
+			names := make([]string, len(ns))
+			for i, n := range ns {
+				names[i] = n.FullName()
+			}
+			return nil, fmt.Errorf("certify: root %q is ambiguous: %s", spec, strings.Join(names, ", "))
+		}
+	}
+	closure := uni.Graph.Reach(roots)
+
+	cert := &Certificate{
+		Schema:  CertSchema,
+		Closure: CertClosure{Functions: len(closure.Nodes)},
+		Clean:   true,
+	}
+	for _, r := range roots {
+		cert.Roots = append(cert.Roots, r.FullName())
+	}
+	sort.Strings(cert.Roots)
+	cert.Module = uni.ModulePath
+	seenPkg := map[string]bool{}
+	for _, n := range closure.Nodes {
+		if n.Pkg != nil && !seenPkg[n.Pkg.Path] {
+			seenPkg[n.Pkg.Path] = true
+			cert.Closure.Packages = append(cert.Closure.Packages, n.Pkg.Path)
+		}
+	}
+	sort.Strings(cert.Closure.Packages)
+
+	// Grounded facts per member: violation or policy waiver. Each record
+	// keeps the diagnostic it would raise, so suppression results can be
+	// matched back after the per-package ApplySuppressionsDetail pass.
+	type violRec struct {
+		viol CertViolation
+		diag Diagnostic
+	}
+	var viols []*violRec
+	for _, n := range closure.Nodes {
+		if n.Pkg == nil {
+			continue
+		}
+		f := uni.Sums.Facts(n)
+		for _, fc := range []struct {
+			name string
+			set  bool
+			path []summary.Step
+		}{
+			{"WritesGlobal", f.WritesGlobal, f.GlobalPath},
+			{"RangesMapToSink", f.RangesMapToSink, f.MapOrderPath},
+			{"SpawnsGoroutine", f.SpawnsGoroutine, f.GoPath},
+			{"SelectsNondet", f.SelectsNondet, f.SelectPath},
+			{"ReadsClock", f.ReadsClock, f.ClockPath},
+			{"GlobalRand", f.GlobalRand, f.RandPath},
+		} {
+			if !fc.set || !groundedHere(fc.name, fc.path) {
+				continue
+			}
+			site := fc.path[0].Pos
+			if policy := factWaiverPolicy(fc.name, n.Pkg.Path); policy != "" {
+				cert.Waivers = append(cert.Waivers, CertWaiver{
+					Func: n.FullName(), Fact: fc.name,
+					Site: uni.relSite(site), Policy: policy,
+				})
+				continue
+			}
+			chain := certChain(uni, closure, n, fc.path)
+			rec := &violRec{
+				viol: CertViolation{
+					Func: n.FullName(), Fact: fc.name,
+					Site: uni.relSite(site), Chain: chain,
+				},
+				diag: Diagnostic{
+					Pos:      uni.Fset.Position(site),
+					Analyzer: PureDet.Name,
+					Message:  fmt.Sprintf("certify %s: %s", fc.name, chain),
+				},
+			}
+			viols = append(viols, rec)
+		}
+	}
+
+	type oblRec struct {
+		obl  CertObligation
+		diag Diagnostic
+	}
+	var obls []*oblRec
+	seenObl := map[string]bool{}
+	for _, ob := range closure.Obligations {
+		if ob.Caller.Pkg != nil && coldPkgs[ob.Caller.Pkg.Path] {
+			continue
+		}
+		if ob.Kind == callgraph.ObligationExternal &&
+			(ob.CalleePkg == "" || detExternalOK[ob.CalleePkg] || coldPkgs[ob.CalleePkg]) {
+			continue
+		}
+		key := ob.Caller.FullName() + "\x00" + ob.Callee + "\x00" + uni.relSite(ob.Pos)
+		if seenObl[key] {
+			continue
+		}
+		seenObl[key] = true
+		var msg string
+		if ob.Kind == callgraph.ObligationDynamic {
+			msg = fmt.Sprintf("certification obligation: indirect call in %s (callee unknown; reached %s)",
+				ob.Caller.Name, callgraph.DescribePath(closure.PathTo(ob.Caller)))
+		} else {
+			msg = fmt.Sprintf("certification obligation: %s calls %s (external package %s not on the determinism allowlist)",
+				ob.Caller.Name, ob.Callee, ob.CalleePkg)
+		}
+		obls = append(obls, &oblRec{
+			obl: CertObligation{
+				Func: ob.Caller.FullName(), Kind: ob.Kind.String(),
+				Callee: ob.Callee, Site: uni.relSite(ob.Pos),
+			},
+			diag: Diagnostic{
+				Pos:      uni.Fset.Position(ob.Pos),
+				Analyzer: PureDet.Name,
+				Message:  msg,
+			},
+		})
+	}
+
+	// Fold //lint:ignore puredet directives in, package by package.
+	// Directive hygiene problems belong to the regular lint sweep, and
+	// ran={puredet} keeps other analyzers' directives out of the
+	// staleness check entirely.
+	res := &CertifyResult{Cert: cert}
+	byPkg := map[*Package][]Diagnostic{}
+	diagOwner := map[Diagnostic]any{}
+	pkgOfFile := uni.filePackages()
+	route := func(d Diagnostic, owner any) {
+		if p := pkgOfFile[d.Pos.Filename]; p != nil {
+			byPkg[p] = append(byPkg[p], d)
+			diagOwner[d] = owner
+		} else {
+			// A member outside the loaded package set cannot carry
+			// directives; its diagnostic survives unconditionally.
+			res.Findings = append(res.Findings, d)
+		}
+	}
+	for _, r := range viols {
+		route(r.diag, r)
+	}
+	for _, r := range obls {
+		route(r.diag, r)
+	}
+	known := KnownAnalyzers(All())
+	ran := map[string]bool{PureDet.Name: true}
+	for pkg, diags := range byPkg {
+		kept, sups, _ := ApplySuppressionsDetail(pkg, uni.Fset, diags, known, ran)
+		res.Findings = append(res.Findings, kept...)
+		for _, s := range sups {
+			switch r := diagOwner[s.Diag].(type) {
+			case *violRec:
+				r.viol.Suppressed = true
+				r.viol.Reason = s.Reason
+			case *oblRec:
+				r.obl.Suppressed = true
+				r.obl.Reason = s.Reason
+			}
+		}
+	}
+	sortDiags(res.Findings)
+
+	// Assemble, count, and order the certificate sections.
+	violCount := map[string]int{}
+	supCount := map[string]int{}
+	waivCount := map[string]int{}
+	for _, r := range viols {
+		cert.Violations = append(cert.Violations, r.viol)
+		if r.viol.Suppressed {
+			supCount[r.viol.Fact]++
+		} else {
+			violCount[r.viol.Fact]++
+			cert.Clean = false
+		}
+	}
+	for _, w := range cert.Waivers {
+		waivCount[w.Fact]++
+	}
+	for _, r := range obls {
+		cert.Obligations = append(cert.Obligations, r.obl)
+		if !r.obl.Suppressed {
+			cert.Clean = false
+		}
+	}
+	for _, fact := range certFacts {
+		cert.Verdicts = append(cert.Verdicts, CertVerdict{
+			Fact: fact, Clean: violCount[fact] == 0,
+			Violations: violCount[fact], Waived: waivCount[fact],
+			Suppressed: supCount[fact],
+		})
+	}
+	sort.Slice(cert.Violations, func(i, j int) bool {
+		a, b := cert.Violations[i], cert.Violations[j]
+		if a.Func != b.Func {
+			return a.Func < b.Func
+		}
+		if a.Fact != b.Fact {
+			return a.Fact < b.Fact
+		}
+		return a.Site < b.Site
+	})
+	sort.Slice(cert.Waivers, func(i, j int) bool {
+		a, b := cert.Waivers[i], cert.Waivers[j]
+		if a.Func != b.Func {
+			return a.Func < b.Func
+		}
+		if a.Fact != b.Fact {
+			return a.Fact < b.Fact
+		}
+		return a.Site < b.Site
+	})
+	sort.Slice(cert.Obligations, func(i, j int) bool {
+		a, b := cert.Obligations[i], cert.Obligations[j]
+		if a.Func != b.Func {
+			return a.Func < b.Func
+		}
+		if a.Site != b.Site {
+			return a.Site < b.Site
+		}
+		return a.Callee < b.Callee
+	})
+	if cert.Closure.Packages == nil {
+		cert.Closure.Packages = []string{}
+	}
+	if cert.Violations == nil {
+		cert.Violations = []CertViolation{}
+	}
+	if cert.Waivers == nil {
+		cert.Waivers = []CertWaiver{}
+	}
+	if cert.Obligations == nil {
+		cert.Obligations = []CertObligation{}
+	}
+	return res, nil
+}
+
+// Render returns the canonical byte representation of the certificate:
+// indented JSON with sorted sections and a trailing newline. Two
+// certifications of the same code produce identical bytes — the
+// property the CI diff gate rests on.
+func (c *Certificate) Render() ([]byte, error) {
+	b, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// certChain renders the full root→…→operation witness for a grounded
+// fact: the closure's path to the member, then the member's own
+// witness chain down to the operation.
+func certChain(uni *Universe, c *callgraph.Closure, n *callgraph.Node, path []summary.Step) string {
+	root := c.PathTo(n)
+	var prefix string
+	if len(root) > 1 {
+		prefix = callgraph.DescribePath(root[:len(root)-1]) + " → "
+	}
+	return prefix + uni.Sums.DescribeChain(n, path)
+}
+
+// relSite renders a position as "module/relative/path.go:line".
+func (u *Universe) relSite(pos token.Pos) string {
+	p := u.Fset.Position(pos)
+	name := p.Filename
+	if rel, err := filepath.Rel(u.ModuleRoot, name); err == nil && !strings.HasPrefix(rel, "..") {
+		name = filepath.ToSlash(rel)
+	}
+	return fmt.Sprintf("%s:%d", name, p.Line)
+}
+
+// filePackages maps source file names to their packages, for routing
+// certify diagnostics through per-package suppression.
+func (u *Universe) filePackages() map[string]*Package {
+	out := map[string]*Package{}
+	for _, p := range u.Pkgs {
+		for _, f := range p.Files {
+			out[u.Fset.Position(f.Pos()).Filename] = p
+		}
+	}
+	return out
+}
+
+// sortDiags orders diagnostics the way Run does.
+func sortDiags(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Message < b.Message
+	})
+}

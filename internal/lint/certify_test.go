@@ -1,0 +1,168 @@
+package lint
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// certifyUniverse loads the certify testdata package into a fresh
+// loader and builds a universe over it.
+func certifyUniverse(t *testing.T) *Universe {
+	t.Helper()
+	root, mod, err := FindModule(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := NewLoader(root, mod, nil)
+	abs, err := filepath.Abs(filepath.Join("testdata", "src", "certify"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.LoadDir("rsin/testdata/certify", abs); err != nil {
+		t.Fatal(err)
+	}
+	return NewUniverse(l)
+}
+
+// TestCertifyFindings pins the certificate derived from the fixture
+// closure: one unsuppressed violation (a surviving finding), one
+// suppressed violation with its directive reason, one suppressed
+// dynamic obligation, and the verdict arithmetic over them.
+func TestCertifyFindings(t *testing.T) {
+	uni := certifyUniverse(t)
+	res, err := Certify(uni, []string{"certify.Root"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert := res.Cert
+
+	if cert.Clean {
+		t.Error("Clean = true, want false (dirty's write is unsuppressed)")
+	}
+	if cert.Schema != CertSchema {
+		t.Errorf("Schema = %q, want %q", cert.Schema, CertSchema)
+	}
+	// Root, step, dirty, quiet are reachable; Clean is not.
+	if cert.Closure.Functions != 4 {
+		t.Errorf("Closure.Functions = %d, want 4", cert.Closure.Functions)
+	}
+	if len(cert.Closure.Packages) != 1 || cert.Closure.Packages[0] != "rsin/testdata/certify" {
+		t.Errorf("Closure.Packages = %v, want [rsin/testdata/certify]", cert.Closure.Packages)
+	}
+
+	if len(cert.Violations) != 2 {
+		t.Fatalf("got %d violations, want 2: %+v", len(cert.Violations), cert.Violations)
+	}
+	byFunc := map[string]CertViolation{}
+	for _, v := range cert.Violations {
+		byFunc[v.Func] = v
+	}
+	d, ok := byFunc["rsin/testdata/certify.dirty"]
+	if !ok {
+		t.Fatal("no violation recorded for dirty")
+	}
+	if d.Fact != "WritesGlobal" || d.Suppressed {
+		t.Errorf("dirty violation = %+v, want unsuppressed WritesGlobal", d)
+	}
+	if !strings.Contains(d.Chain, "Root") || !strings.Contains(d.Chain, "dirty") {
+		t.Errorf("dirty chain %q does not trace root → member", d.Chain)
+	}
+	q, ok := byFunc["rsin/testdata/certify.quiet"]
+	if !ok {
+		t.Fatal("no violation recorded for quiet")
+	}
+	if !q.Suppressed || !strings.Contains(q.Reason, "written once at startup") {
+		t.Errorf("quiet violation = %+v, want suppressed with the directive reason", q)
+	}
+
+	if len(cert.Obligations) != 1 {
+		t.Fatalf("got %d obligations, want 1: %+v", len(cert.Obligations), cert.Obligations)
+	}
+	ob := cert.Obligations[0]
+	if ob.Kind != "dynamic" || ob.Func != "rsin/testdata/certify.Root" {
+		t.Errorf("obligation = %+v, want a dynamic call in Root", ob)
+	}
+	if !ob.Suppressed || !strings.Contains(ob.Reason, "installed once") {
+		t.Errorf("obligation = %+v, want suppressed with the directive reason", ob)
+	}
+
+	// Only the unsuppressed violation survives as a finding.
+	if len(res.Findings) != 1 {
+		t.Fatalf("got %d findings, want 1: %+v", len(res.Findings), res.Findings)
+	}
+	if !strings.Contains(res.Findings[0].Message, "WritesGlobal") {
+		t.Errorf("finding %q, want the WritesGlobal violation", res.Findings[0].Message)
+	}
+
+	for _, v := range cert.Verdicts {
+		want := CertVerdict{Fact: v.Fact, Clean: true}
+		if v.Fact == "WritesGlobal" {
+			want = CertVerdict{Fact: "WritesGlobal", Clean: false, Violations: 1, Suppressed: 1}
+		}
+		if v != want {
+			t.Errorf("verdict %+v, want %+v", v, want)
+		}
+	}
+}
+
+// TestCertifyCleanRoot: a closure with no hazards certifies clean.
+func TestCertifyCleanRoot(t *testing.T) {
+	uni := certifyUniverse(t)
+	res, err := Certify(uni, []string{"certify.Clean"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert := res.Cert
+	if !cert.Clean {
+		t.Errorf("Clean = false, want true (violations %+v, obligations %+v)",
+			cert.Violations, cert.Obligations)
+	}
+	if cert.Closure.Functions != 2 { // Clean, step
+		t.Errorf("Closure.Functions = %d, want 2", cert.Closure.Functions)
+	}
+	if len(res.Findings) != 0 {
+		t.Errorf("findings %+v, want none", res.Findings)
+	}
+	for _, v := range cert.Verdicts {
+		if !v.Clean || v.Violations != 0 || v.Waived != 0 || v.Suppressed != 0 {
+			t.Errorf("verdict %+v, want all-zero clean", v)
+		}
+	}
+}
+
+// TestCertifyUnknownRoot: a root that resolves to nothing is an error,
+// not an empty certificate.
+func TestCertifyUnknownRoot(t *testing.T) {
+	uni := certifyUniverse(t)
+	if _, err := Certify(uni, []string{"certify.NoSuchFunc"}); err == nil {
+		t.Error("Certify with unknown root: err = nil, want error")
+	}
+	if _, err := Certify(uni, nil); err == nil {
+		t.Error("Certify with no roots: err = nil, want error")
+	}
+}
+
+// TestCertifyByteStable: two certifications from independently built
+// universes render identical bytes — the property the CI diff rests on.
+func TestCertifyByteStable(t *testing.T) {
+	render := func() []byte {
+		res, err := Certify(certifyUniverse(t), []string{"certify.Root"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := res.Cert.Render()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a, b := render(), render()
+	if !bytes.Equal(a, b) {
+		t.Errorf("renders differ:\n--- first\n%s\n--- second\n%s", a, b)
+	}
+	if a[len(a)-1] != '\n' {
+		t.Error("render does not end in newline")
+	}
+}

@@ -175,6 +175,26 @@ func TestHotAlloc(t *testing.T) {
 	runTestdata(t, HotAlloc, "hotalloc", "rsin/testdata/hotalloc", false)
 }
 
+// TestPureDet covers the hazard classes of the determinism analyzer:
+// every package-level write form, goroutine spawns, scheduler-dependent
+// channel operations, and the interprocedural map-order leak — plus
+// the negatives (locals, init, collect-then-sort, pure range callees)
+// via the clean.go fixtures in the same package.
+func TestPureDet(t *testing.T) {
+	runTestdata(t, PureDet, "puredet", "rsin/testdata/puredet", false)
+}
+
+// TestPureDetConcurrency / TestPureDetRunnerConcExempt load the same
+// goroutine-and-channel fixture twice: reported under a testdata path,
+// silent under the concurrency-exempt runner path.
+func TestPureDetConcurrency(t *testing.T) {
+	runTestdata(t, PureDet, "puredetconc", "rsin/testdata/puredetconc", false)
+}
+
+func TestPureDetRunnerConcExempt(t *testing.T) {
+	runTestdata(t, PureDet, "puredetconc", "rsin/internal/runner", true)
+}
+
 // TestRepoIsClean runs every analyzer over the whole module and
 // applies the //lint:ignore suppressions — the same contract CI
 // enforces through cmd/rsinlint. Unused or malformed directives

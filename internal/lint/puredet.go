@@ -1,0 +1,121 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"rsin/internal/lint/summary"
+)
+
+// PureDet reports determinism hazards that the sharded engine
+// (ROADMAP item 2) cannot tolerate inside the simulation call closure:
+// writes to package-level mutable state (shards would race or diverge
+// on it), goroutine launches and scheduler-dependent channel operations
+// outside the sanctioned runner pool, and map iteration order escaping
+// through a call chain into an output or global sink — the
+// interprocedural upgrade of maporder, whose intraprocedural findings
+// it deliberately does not duplicate.
+//
+// Package initialization (func init and package-level variable
+// initializers) is exempt: it runs once, in source order, before any
+// shard exists. The runner package is exempt from the concurrency
+// checks (its slot-indexed merge is pinned deterministic by
+// byte-identity tests), and the lint tool itself is out of scope.
+//
+// The -certify mode of cmd/rsinlint builds on the same facts to prove
+// entire call closures clean; see Certify.
+var PureDet = &Analyzer{
+	Name: "puredet",
+	Doc: "puredet reports shard-determinism hazards: package-level state writes, " +
+		"unsanctioned goroutines and channel operations, and map iteration order " +
+		"reaching a sink through a call chain; cmd/rsinlint -certify builds whole-closure " +
+		"determinism certificates on the same facts",
+	Run: runPureDet,
+}
+
+// puredetScope reports whether puredet audits the package at path in
+// analyzer mode. The lint tool subtree mutates caches by design and
+// cold packages compile to no-ops in production builds.
+func puredetScope(path string) bool {
+	if coldPkgs[path] {
+		return false
+	}
+	if path == "rsin/internal/lint" || strings.HasPrefix(path, "rsin/internal/lint/") {
+		return false
+	}
+	return true
+}
+
+func runPureDet(p *Pass) error {
+	u := p.Uni
+	if u == nil || !puredetScope(p.Path) {
+		return nil
+	}
+	skip := summary.ColdSkipper(p.Info, coldPkgs)
+	inits := initSpans(p.Files)
+	inInit := func(pos token.Pos) bool {
+		for _, s := range inits {
+			if s.contains(pos) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, n := range u.Graph.Nodes {
+		if n.Pkg == nil || n.Pkg.Path != p.Path {
+			continue
+		}
+		body := n.Body()
+		if body == nil {
+			continue
+		}
+		for _, op := range summary.GlobalWriteOps(p.Info, body, skip) {
+			if inInit(op.Pos) {
+				continue
+			}
+			p.Reportf(op.Pos, "%s: package-level state is shared across shards", op.What)
+		}
+		if !uniConcExempt[p.Path] {
+			for _, op := range summary.SpawnOps(body, skip) {
+				if inInit(op.Pos) {
+					continue
+				}
+				p.Reportf(op.Pos, "%s outside the sanctioned runner pool", op.What)
+			}
+			for _, op := range summary.SelectOps(p.Info, body, skip) {
+				if inInit(op.Pos) {
+					continue
+				}
+				p.Reportf(op.Pos, "%s", op.What)
+			}
+		}
+		// Interprocedural map-order leak: the map range is here, the sink
+		// is in a callee. Direct in-loop sinks are maporder's findings and
+		// chains inherited through a plain call are reported where the
+		// range actually is, so only chains grounded by a call out of a
+		// local range body are reported.
+		f := u.Sums.Facts(n)
+		if f.RangesMapToSink && len(f.MapOrderPath) > 0 &&
+			f.MapOrderPath[0].What == summary.StepRangeCall && !inInit(f.MapOrderPath[0].Pos) {
+			p.Reportf(f.MapOrderPath[0].Pos, "map iteration order escapes through call: %s",
+				u.Sums.DescribeChain(n, f.MapOrderPath))
+		}
+	}
+	return nil
+}
+
+// initSpans returns the source extents of the files' init functions;
+// operations inside them are exempt from puredet (initialization runs
+// once, in source order, before any shard exists).
+func initSpans(files []*ast.File) []span {
+	var out []span
+	for _, f := range files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Recv == nil && fd.Name.Name == "init" {
+				out = append(out, span{lo: fd.Pos(), hi: fd.End()})
+			}
+		}
+	}
+	return out
+}

@@ -59,6 +59,40 @@ type Facts struct {
 	// return derives it through runner.DeriveSeed (directly or via
 	// another deriving function). Identity passthroughs do not qualify.
 	DerivesSeed bool
+
+	// WritesGlobal: the function may write package-level mutable state
+	// (assignment, compound assignment, ++/--, map write or delete,
+	// append landing back in a global), directly or transitively.
+	WritesGlobal bool
+	GlobalPath   []Step
+
+	// EmitsOutput: the function may externalize data (fmt printing, io
+	// writes, interface-writer methods), directly or transitively. Not a
+	// violation by itself — it is the sink predicate RangesMapToSink
+	// composes with.
+	EmitsOutput bool
+	OutputPath  []Step
+
+	// RangesMapToSink: the function contains a range-over-map whose
+	// randomized iteration order can reach a sink — an output operation,
+	// package-level state, or a callee that emits output or writes
+	// globals — or calls a function that does. This is the
+	// interprocedural upgrade of the intraprocedural maporder check.
+	RangesMapToSink bool
+	MapOrderPath    []Step
+
+	// SpawnsGoroutine: the function may launch a goroutine. The fact
+	// does not propagate out of ConcExempt packages (the runner worker
+	// pool's determinism is pinned by byte-identity tests).
+	SpawnsGoroutine bool
+	GoPath          []Step
+
+	// SelectsNondet: the function may execute a scheduler-dependent
+	// channel operation: a multi-ready select, a select with a default
+	// clause, or an unsynchronized channel receive. ConcExempt packages
+	// bound propagation as for SpawnsGoroutine.
+	SelectsNondet bool
+	SelectPath    []Step
 }
 
 // Config parameterizes fact computation with the lint policy the
@@ -74,6 +108,11 @@ type Config struct {
 	// DeriveSeedFunc is the full name of the canonical seed-derivation
 	// function ("rsin/internal/runner.DeriveSeed").
 	DeriveSeedFunc string
+	// ConcExempt are packages sanctioned to use goroutines and channel
+	// operations (the runner worker pool, whose slot-indexed merge is
+	// proven deterministic by byte-identity tests); SpawnsGoroutine and
+	// SelectsNondet do not propagate out of them.
+	ConcExempt map[string]bool
 }
 
 // Store holds the computed facts for every node of a graph.
@@ -142,6 +181,46 @@ func (s *Store) update(n *callgraph.Node) bool {
 			changed = true
 		}
 	}
+	if !f.WritesGlobal {
+		if ops := GlobalWriteOps(info, body, skip); len(ops) > 0 {
+			f.WritesGlobal = true
+			f.GlobalPath = []Step{{Pos: ops[0].Pos, What: ops[0].What}}
+			changed = true
+		}
+	}
+	if !f.EmitsOutput {
+		if ops := SinkOps(info, body, skip); len(ops) > 0 {
+			f.EmitsOutput = true
+			f.OutputPath = []Step{{Pos: ops[0].Pos, What: ops[0].What}}
+			changed = true
+		}
+	}
+	if !f.SpawnsGoroutine {
+		if ops := SpawnOps(body, skip); len(ops) > 0 {
+			f.SpawnsGoroutine = true
+			f.GoPath = []Step{{Pos: ops[0].Pos, What: ops[0].What}}
+			changed = true
+		}
+	}
+	if !f.SelectsNondet {
+		if ops := SelectOps(info, body, skip); len(ops) > 0 {
+			f.SelectsNondet = true
+			f.SelectPath = []Step{{Pos: ops[0].Pos, What: ops[0].What}}
+			changed = true
+		}
+	}
+	// RangesMapToSink folds both intraprocedural leaks (direct sink in
+	// the loop body) and interprocedural ones (a call from inside the
+	// loop body to a callee whose EmitsOutput/WritesGlobal fact is set),
+	// so it must be re-checked each fixed-point pass as callee facts
+	// evolve.
+	if !f.RangesMapToSink {
+		if steps, ok := s.mapRangeSink(n, skip); ok {
+			f.RangesMapToSink = true
+			f.MapOrderPath = steps
+			changed = true
+		}
+	}
 
 	// Propagation through edges. Edges whose call sites sit inside cold
 	// subtrees (invariant guards, panic branches) carry no facts.
@@ -174,6 +253,31 @@ func (s *Store) update(n *callgraph.Node) bool {
 			if cf.GlobalRand && !f.GlobalRand {
 				f.GlobalRand = true
 				f.RandPath = chain(e, cf.RandPath)
+				changed = true
+			}
+			if cf.WritesGlobal && !f.WritesGlobal {
+				f.WritesGlobal = true
+				f.GlobalPath = chain(e, cf.GlobalPath)
+				changed = true
+			}
+			if cf.EmitsOutput && !f.EmitsOutput {
+				f.EmitsOutput = true
+				f.OutputPath = chain(e, cf.OutputPath)
+				changed = true
+			}
+			if cf.RangesMapToSink && !f.RangesMapToSink {
+				f.RangesMapToSink = true
+				f.MapOrderPath = chain(e, cf.MapOrderPath)
+				changed = true
+			}
+			if cf.SpawnsGoroutine && !f.SpawnsGoroutine && !s.cfg.ConcExempt[e.Callee.Pkg.Path] {
+				f.SpawnsGoroutine = true
+				f.GoPath = chain(e, cf.GoPath)
+				changed = true
+			}
+			if cf.SelectsNondet && !f.SelectsNondet && !s.cfg.ConcExempt[e.Callee.Pkg.Path] {
+				f.SelectsNondet = true
+				f.SelectPath = chain(e, cf.SelectPath)
 				changed = true
 			}
 		}
@@ -245,6 +349,47 @@ func pkgShort(path string) string {
 		return path[i+1:]
 	}
 	return path
+}
+
+// mapRangeSink looks for a range-over-map in n's body whose iteration
+// order can reach a sink: a direct output/global-write/unsorted-append
+// inside the loop body, or a call from inside the loop body to a callee
+// whose EmitsOutput or WritesGlobal fact is (currently) set. The
+// returned witness chain starts at the grounding operation or at the
+// offending call edge.
+func (s *Store) mapRangeSink(n *callgraph.Node, skip func(ast.Node) bool) ([]Step, bool) {
+	body := n.Body()
+	info := n.Pkg.Info
+	for _, mr := range mapRanges(info, body, skip) {
+		if op, ok := rangeSinkOp(info, body, mr.rng, skip); ok {
+			return []Step{{Pos: op.Pos, What: op.What}}, true
+		}
+		for _, e := range callsInside(n, mr.rng.Body, skip) {
+			if e.Callee == nil {
+				continue
+			}
+			cf := s.facts[e.Callee]
+			if cf == nil {
+				continue
+			}
+			head := Step{Pos: e.Call.Pos(), What: StepRangeCall, Callee: e.Callee}
+			var tail []Step
+			switch {
+			case cf.EmitsOutput:
+				tail = cf.OutputPath
+			case cf.WritesGlobal:
+				tail = cf.GlobalPath
+			default:
+				continue
+			}
+			out := append([]Step{head}, tail...)
+			if len(out) > maxChain {
+				out = out[:maxChain]
+			}
+			return out, true
+		}
+	}
+	return nil, false
 }
 
 // clockUse finds a lexical reference to a wall-clock primitive in n's

@@ -71,6 +71,142 @@ func laundered(base uint64, i int) uint64 { return base * 31 }
 func passthrough(seed uint64) uint64 { return seed }
 `
 
+const detCycleSrc = `package p
+
+var total int
+var seen = map[string]bool{}
+
+func alpha(n int) {
+	if n == 0 {
+		total++
+		return
+	}
+	beta(n - 1)
+}
+
+func beta(n int) { alpha(n - 1) }
+
+func mark(k string) { seen[k] = true }
+
+type writer interface {
+	Write(p []byte) (int, error)
+}
+
+var out writer
+
+func emit(b []byte) { out.Write(b) }
+
+func relay(b []byte) { emit(b) }
+
+func leak(m map[string][]byte) {
+	for _, v := range m {
+		relay(v)
+	}
+}
+
+func caller(m map[string][]byte) { leak(m) }
+
+func spawner() { go mark("x") }
+
+func viaSpawner() { spawner() }
+
+func pure(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return pure(n - 1)
+}
+`
+
+// TestDetFactsOverCycle pins the determinism facts' fixed-point folding:
+// WritesGlobal propagates through a mutually recursive component with an
+// acyclic grounded witness chain, pure self-recursion stays clean, and
+// RangesMapToSink distinguishes the loop that owns the range (chain head
+// StepRangeCall) from callers that merely inherit the fact (chain head
+// "calls").
+func TestDetFactsOverCycle(t *testing.T) {
+	fset, sp := check(t, detCycleSrc)
+	g := callgraph.Build(fset, []*callgraph.SourcePkg{sp})
+	s := Compute(fset, g, Config{})
+
+	for _, name := range []string{"p.alpha", "p.beta"} {
+		f := s.Facts(node(t, g, name))
+		if !f.WritesGlobal {
+			t.Errorf("%s: WritesGlobal = false, want true", name)
+			continue
+		}
+		if len(f.GlobalPath) == 0 || len(f.GlobalPath) > maxChain {
+			t.Fatalf("%s: witness chain length %d outside (0, %d]", name, len(f.GlobalPath), maxChain)
+		}
+		last := f.GlobalPath[len(f.GlobalPath)-1]
+		if last.Callee != nil || last.What == "" {
+			t.Errorf("%s: terminal step %+v, want a grounding operation", name, last)
+		}
+		seen := map[*callgraph.Node]bool{}
+		for _, st := range f.GlobalPath[:len(f.GlobalPath)-1] {
+			if st.Callee == nil {
+				t.Errorf("%s: interior step with no callee", name)
+				continue
+			}
+			if seen[st.Callee] {
+				t.Errorf("%s: witness chain revisits %s (cyclic chain)", name, st.Callee.Name)
+			}
+			seen[st.Callee] = true
+		}
+	}
+	if f := s.Facts(node(t, g, "p.pure")); f.WritesGlobal {
+		t.Errorf("pure self-recursion: WritesGlobal = true, want false (chain %v)", f.GlobalPath)
+	}
+
+	// The sink fact flows up the call chain; the map-order fact is
+	// grounded where the range statement lives.
+	for _, name := range []string{"p.emit", "p.relay"} {
+		if f := s.Facts(node(t, g, name)); !f.EmitsOutput {
+			t.Errorf("%s: EmitsOutput = false, want true", name)
+		}
+	}
+	leak := s.Facts(node(t, g, "p.leak"))
+	if !leak.RangesMapToSink {
+		t.Fatal("leak: RangesMapToSink = false, want true")
+	}
+	if got := leak.MapOrderPath[0].What; got != StepRangeCall {
+		t.Errorf("leak: chain head What = %q, want %q (owns the range)", got, StepRangeCall)
+	}
+	if c := leak.MapOrderPath[0].Callee; c == nil || c.Name != "p.relay" {
+		t.Errorf("leak: chain head callee = %v, want p.relay", c)
+	}
+	caller := s.Facts(node(t, g, "p.caller"))
+	if !caller.RangesMapToSink {
+		t.Fatal("caller: RangesMapToSink = false, want true")
+	}
+	if got := caller.MapOrderPath[0].What; got == StepRangeCall {
+		t.Errorf("caller: chain head What = %q — inherited fact must not claim the range", got)
+	}
+}
+
+// TestConcExemptCutsPropagation: SpawnsGoroutine registers where the go
+// statement lives even in an exempt package, but never propagates out of
+// one.
+func TestConcExemptCutsPropagation(t *testing.T) {
+	fset, sp := check(t, detCycleSrc)
+	g := callgraph.Build(fset, []*callgraph.SourcePkg{sp})
+
+	open := Compute(fset, g, Config{})
+	for _, name := range []string{"p.spawner", "p.viaSpawner"} {
+		if f := open.Facts(node(t, g, name)); !f.SpawnsGoroutine {
+			t.Errorf("no exemption: %s SpawnsGoroutine = false, want true", name)
+		}
+	}
+
+	exempt := Compute(fset, g, Config{ConcExempt: map[string]bool{"p": true}})
+	if f := exempt.Facts(node(t, g, "p.spawner")); !f.SpawnsGoroutine {
+		t.Error("exempt: spawner SpawnsGoroutine = false, want true (direct op still registers)")
+	}
+	if f := exempt.Facts(node(t, g, "p.viaSpawner")); f.SpawnsGoroutine {
+		t.Error("exempt: viaSpawner SpawnsGoroutine = true, want false (propagation cut at exempt callee)")
+	}
+}
+
 // TestFixpointOverCycle pins the SCC iteration: facts propagate through
 // a mutually recursive component until stable, recursion alone never
 // fabricates a fact, and witness chains stay acyclic and grounded in a

@@ -25,6 +25,23 @@ type directive struct {
 	toLine    int
 }
 
+// PartialAnalyzers are analyzers whose complete finding set only
+// materializes outside the regular package sweep: puredet's
+// certification obligations exist only under cmd/rsinlint -certify,
+// where the closure of the named roots is walked. A normal run (full
+// or -analyzers subset) therefore cannot know whether the finding a
+// puredet directive justifies still exists, so directives naming only
+// partial analyzers are never reported stale.
+var PartialAnalyzers = map[string]bool{"puredet": true}
+
+// Suppression records one suppressed diagnostic together with the
+// reason its directive gave; the certifier embeds these in the
+// certificate so suppressed obligations stay visible.
+type Suppression struct {
+	Diag   Diagnostic
+	Reason string
+}
+
 // ApplySuppressions filters diags through the //lint:ignore directives
 // of pkg's files and returns the diagnostics that survive plus the
 // number suppressed.
@@ -45,12 +62,34 @@ type directive struct {
 //
 // ran is the set of analyzers that actually produced diags this
 // invocation (nil means all of known ran). The unused-directive check
-// applies only to directives naming an analyzer that ran: under
-// -analyzers subset runs, a directive for an unselected analyzer has
-// had no chance to suppress anything and must not be reported stale.
+// applies only to directives naming an analyzer that ran and is not
+// partial (see PartialAnalyzers): under -analyzers subset runs, a
+// directive for an unselected analyzer has had no chance to suppress
+// anything and must not be reported stale, and a partial analyzer's
+// full finding set is never present in a regular sweep at all.
 func ApplySuppressions(pkg *Package, fset *token.FileSet, diags []Diagnostic, known, ran map[string]bool) (kept []Diagnostic, suppressed int) {
+	kept, sups, problems := ApplySuppressionsDetail(pkg, fset, diags, known, ran)
+	kept = append(kept, problems...)
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return kept, len(sups)
+}
+
+// ApplySuppressionsDetail is ApplySuppressions with the suppressed
+// diagnostics (and their directive reasons) returned individually and
+// directive problems kept separate from surviving findings. The
+// certifier uses it to record suppressed obligations in the
+// certificate without mixing directive hygiene into certification.
+func ApplySuppressionsDetail(pkg *Package, fset *token.FileSet, diags []Diagnostic, known, ran map[string]bool) (kept []Diagnostic, suppressed []Suppression, problems []Diagnostic) {
 	var dirs []*directive
-	var problems []Diagnostic
 	for _, f := range pkg.Files {
 		// Function extents by doc comment group, for whole-function
 		// suppression.
@@ -99,7 +138,7 @@ func ApplySuppressions(pkg *Package, fset *token.FileSet, diags []Diagnostic, kn
 					reason:    strings.Join(fields[1:], " "),
 				}
 				for _, n := range names {
-					if ran == nil || ran[n] {
+					if (ran == nil || ran[n]) && !PartialAnalyzers[n] {
 						dir.relevant = true
 					}
 				}
@@ -114,7 +153,7 @@ func ApplySuppressions(pkg *Package, fset *token.FileSet, diags []Diagnostic, kn
 	for _, d := range diags {
 		if dir := matching(dirs, d); dir != nil {
 			dir.used = true
-			suppressed++
+			suppressed = append(suppressed, Suppression{Diag: d, Reason: dir.reason})
 			continue
 		}
 		kept = append(kept, d)
@@ -129,18 +168,7 @@ func ApplySuppressions(pkg *Package, fset *token.FileSet, diags []Diagnostic, kn
 			})
 		}
 	}
-	kept = append(kept, problems...)
-	sort.Slice(kept, func(i, j int) bool {
-		a, b := kept[i], kept[j]
-		if a.Pos.Filename != b.Pos.Filename {
-			return a.Pos.Filename < b.Pos.Filename
-		}
-		if a.Pos.Line != b.Pos.Line {
-			return a.Pos.Line < b.Pos.Line
-		}
-		return a.Analyzer < b.Analyzer
-	})
-	return kept, suppressed
+	return kept, suppressed, problems
 }
 
 func matching(dirs []*directive, d Diagnostic) *directive {

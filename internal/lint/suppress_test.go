@@ -250,6 +250,65 @@ func f() {
 	}
 }
 
+// TestSuppressPartialNeverStale is the regression for the
+// puredet/-analyzers interplay: a puredet directive's finding only
+// materializes under -certify, so no regular sweep — full run, subset
+// run naming puredet, or subset run without it — may report the
+// directive as stale. A stale directive for an ordinary analyzer in the
+// same file must still surface.
+func TestSuppressPartialNeverStale(t *testing.T) {
+	src := `package p
+
+func f() {
+	_ = 0 //lint:ignore puredet progress callback consumes counts only
+	_ = 1 //lint:ignore maporder stale justification
+}
+`
+	pkg, fset := parsePkg(t, src)
+	known := map[string]bool{"puredet": true, "maporder": true}
+	for name, ran := range map[string]map[string]bool{
+		"full run":               nil,
+		"subset with puredet":    {"puredet": true, "maporder": true},
+		"subset without puredet": {"maporder": true},
+	} {
+		kept, suppressed := ApplySuppressions(pkg, fset, nil, known, ran)
+		if suppressed != 0 {
+			t.Errorf("%s: suppressed %d diagnostics of none", name, suppressed)
+		}
+		if len(kept) != 1 || kept[0].Analyzer != SuppressAnalyzer {
+			t.Fatalf("%s: kept %v, want exactly the stale maporder report", name, kept)
+		}
+		if strings.Contains(kept[0].Message, "puredet") {
+			t.Errorf("%s: puredet directive reported stale: %q", name, kept[0].Message)
+		}
+		if !strings.Contains(kept[0].Message, "maporder") {
+			t.Errorf("%s: stale report should name maporder, got %q", name, kept[0].Message)
+		}
+	}
+}
+
+// TestSuppressPartialStillSuppresses: exempting puredet from the
+// staleness check must not stop its directives from suppressing when
+// the certifier does produce the finding.
+func TestSuppressPartialStillSuppresses(t *testing.T) {
+	src := `package p
+
+func f() {
+	_ = 0 //lint:ignore puredet hook installed once before certification
+}
+`
+	pkg, fset := parsePkg(t, src)
+	diags := []Diagnostic{diag("s.go", 4, "puredet", "certification obligation: indirect call")}
+	ran := map[string]bool{"puredet": true}
+	kept, sups, problems := ApplySuppressionsDetail(pkg, fset, diags, map[string]bool{"puredet": true}, ran)
+	if len(kept) != 0 || len(problems) != 0 {
+		t.Fatalf("kept=%v problems=%v, want both empty", kept, problems)
+	}
+	if len(sups) != 1 || sups[0].Reason != "hook installed once before certification" {
+		t.Fatalf("suppressions %v, want one carrying the directive reason", sups)
+	}
+}
+
 func hasAnalyzer(diags []Diagnostic, name string) bool {
 	for _, d := range diags {
 		if d.Analyzer == name {

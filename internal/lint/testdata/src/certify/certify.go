@@ -1,0 +1,48 @@
+// Certification fixtures: a root whose closure carries one unsuppressed
+// violation, one suppressed violation, and one suppressed dynamic
+// obligation — plus a fully clean root. certify_test.go pins the
+// certificate the engine derives from this package.
+package certify
+
+var hits int
+var mode int
+
+// Hook is installed by the embedding process before certification; the
+// indirect call through it is the closure's one dynamic obligation.
+var Hook func() int
+
+// Root is the certified entry point with findings.
+func Root(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += step(i)
+	}
+	dirty()
+	quiet()
+	//lint:ignore puredet fixture: hook is installed once before certification
+	s += Hook()
+	return s
+}
+
+func step(i int) int { return i * i }
+
+// dirty's global write is the closure's unsuppressed violation.
+func dirty() {
+	hits++
+}
+
+// quiet's global write carries a directive: a suppressed violation that
+// must stay visible in the certificate with its reason.
+func quiet() {
+	//lint:ignore puredet fixture: mode is written once at startup
+	mode = 1
+}
+
+// Clean is a root whose closure is spotless.
+func Clean(n int) int {
+	t := 0
+	for i := 0; i < n; i++ {
+		t += step(i)
+	}
+	return t
+}

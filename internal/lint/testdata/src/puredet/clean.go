@@ -1,0 +1,41 @@
+// Negative fixtures: idioms puredet must stay silent on.
+package puredet
+
+import "sort"
+
+// Writes to locals, including local maps, are not shared state.
+func localOnly() int {
+	x := 0
+	x++
+	m := map[string]int{}
+	m["k"] = 1
+	return x
+}
+
+// Package initialization runs once, in source order, before any shard
+// exists — writes there are exempt.
+func init() {
+	counter = 1
+	registry["seed"] = 1
+}
+
+// The collect-then-sort idiom makes map iteration order irrelevant.
+func collectThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Calling a pure function from a map-range body leaks nothing.
+func double(v int) int { return v * 2 }
+
+func sumDoubled(m map[string]int) int {
+	s := 0
+	for _, v := range m {
+		s += double(v)
+	}
+	return s
+}

@@ -1,0 +1,16 @@
+// Concurrency fixtures loaded twice by the tests: under a testdata
+// path every operation is reported, and under the rsin/internal/runner
+// path the concurrency exemption silences all of them.
+package puredetconc
+
+func fanout(work []int) []int {
+	ch := make(chan int, len(work))
+	for i := range work {
+		go func(v int) { ch <- v * 2 }(work[i]) // want "spawns goroutine outside the sanctioned runner pool"
+	}
+	out := make([]int, 0, len(work))
+	for range work {
+		out = append(out, <-ch) // want "channel receive"
+	}
+	return out
+}

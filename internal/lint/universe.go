@@ -24,6 +24,16 @@ var (
 		"rsin/internal/obs":    true,
 	}
 
+	// uniConcExempt packages are sanctioned goroutine/channel users: the
+	// runner worker pool writes results into slot-indexed storage and its
+	// merge determinism is pinned by byte-identity tests. SpawnsGoroutine
+	// and SelectsNondet facts stop at their boundary, and puredet does
+	// not report their direct concurrency operations; the certifier
+	// records the exemption as a visible waiver instead.
+	uniConcExempt = map[string]bool{
+		"rsin/internal/runner": true,
+	}
+
 	deriveSeedFunc = "rsin/internal/runner.DeriveSeed"
 )
 
@@ -65,6 +75,11 @@ type Universe struct {
 	Graph *callgraph.Graph
 	Sums  *summary.Store
 
+	// ModuleRoot and ModulePath come from the loader; certificates use
+	// them to render module-relative sites and name the module.
+	ModuleRoot string
+	ModulePath string
+
 	marks map[string]*pkgMarks // by package path
 }
 
@@ -77,10 +92,12 @@ func NewUniverse(l *Loader) *Universe {
 		srcs[i] = &callgraph.SourcePkg{Path: p.Path, Files: p.Files, Pkg: p.Pkg, Info: p.Info}
 	}
 	u := &Universe{
-		Fset:  l.Fset,
-		Pkgs:  pkgs,
-		Graph: callgraph.Build(l.Fset, srcs),
-		marks: map[string]*pkgMarks{},
+		Fset:       l.Fset,
+		Pkgs:       pkgs,
+		Graph:      callgraph.Build(l.Fset, srcs),
+		ModuleRoot: l.ModuleRoot,
+		ModulePath: l.ModulePath,
+		marks:      map[string]*pkgMarks{},
 	}
 	for _, p := range pkgs {
 		u.marks[p.Path] = u.applyDirectives(p)
@@ -88,6 +105,7 @@ func NewUniverse(l *Loader) *Universe {
 	u.Sums = summary.Compute(l.Fset, u.Graph, summary.Config{
 		ColdPkgs:       coldPkgs,
 		ClockExempt:    uniClockExempt,
+		ConcExempt:     uniConcExempt,
 		DeriveSeedFunc: deriveSeedFunc,
 	})
 	return u

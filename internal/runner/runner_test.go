@@ -119,14 +119,50 @@ func TestProgressReporting(t *testing.T) {
 		if total != 17 {
 			t.Fatalf("workers=%d: total = %d, want 17", workers, total)
 		}
-		if len(dones) != 17 {
-			t.Fatalf("workers=%d: %d progress calls, want 17", workers, len(dones))
+		// Parallel delivery may drop counts that went stale while another
+		// worker held the lock, so the sequence is strictly increasing
+		// rather than gap-free — but it always ends at n.
+		if len(dones) == 0 || dones[len(dones)-1] != 17 {
+			t.Fatalf("workers=%d: progress sequence %v does not end at 17", workers, dones)
 		}
-		for k, d := range dones {
-			if d != k+1 {
-				t.Fatalf("workers=%d: progress done sequence %v not strictly increasing by 1", workers, dones)
+		for k := 1; k < len(dones); k++ {
+			if dones[k] <= dones[k-1] {
+				t.Fatalf("workers=%d: progress done sequence %v not strictly increasing", workers, dones)
 			}
 		}
+		if workers == 1 && len(dones) != 17 {
+			t.Fatalf("workers=1: %d progress calls, want all 17 (sequential delivery is exact)", len(dones))
+		}
+	}
+}
+
+// TestMapProgressMonotonicUnderContention pins the fix for out-of-order
+// progress delivery, surfaced while certifying the worker loop:
+// incrementing done and invoking the callback are separate steps, so
+// without the monotonic guard a worker holding a stale count could
+// deliver it after a later one — the observed counter regressed and the
+// final report could fall short of n.
+func TestMapProgressMonotonicUnderContention(t *testing.T) {
+	const n = 5000
+	var mu sync.Mutex
+	last, regressions, final := 0, 0, -1
+	Map(Options{
+		Workers: 8,
+		Progress: func(done, total int) {
+			mu.Lock()
+			defer mu.Unlock()
+			if done <= last {
+				regressions++
+			}
+			last = done
+			final = done
+		},
+	}, n, func(i int) int { return i })
+	if regressions > 0 {
+		t.Errorf("progress counter regressed %d times", regressions)
+	}
+	if final != n {
+		t.Errorf("final progress report = %d, want %d", final, n)
 	}
 }
 
