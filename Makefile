@@ -6,10 +6,11 @@ GO ?= go
 .PHONY: build test test-race test-invariant lint lint-certify figures bench bench-check
 
 # The roots of the determinism certificate: the engine entry point,
-# the runner worker loop, and both event-queue implementations. The
-# sharded-engine work (ROADMAP item 2) consumes the certificate as its
-# precondition.
-CERT_ROOTS = internal/sim.Run,internal/runner.Map,internal/sim.(*eventHeap).push,internal/sim.(*eventHeap).pop,internal/sim.(*calendarQueue).push,internal/sim.(*calendarQueue).pop
+# the runner worker loop, both event-queue implementations, and the
+# hot-path observability recorders (attribution + time series) whose
+# outputs the CI byte-identity gates cmp. The sharded-engine work
+# (ROADMAP item 2) consumes the certificate as its precondition.
+CERT_ROOTS = internal/sim.Run,internal/runner.Map,internal/sim.(*eventHeap).push,internal/sim.(*eventHeap).pop,internal/sim.(*calendarQueue).push,internal/sim.(*calendarQueue).pop,internal/obs.(*AttrRecorder).Event,internal/obs.(*SeriesRecorder).Event
 
 build:
 	$(GO) build ./...

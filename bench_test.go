@@ -15,6 +15,7 @@ import (
 	"rsin/internal/crossbar"
 	"rsin/internal/experiments"
 	"rsin/internal/markov"
+	"rsin/internal/obs"
 	"rsin/internal/omega"
 	"rsin/internal/queueing"
 	"rsin/internal/sim"
@@ -345,7 +346,10 @@ func BenchmarkCellWave(b *testing.B) {
 // the three network classes, at the moderate 16-processor ρ=0.5 point
 // and at the large-p high-intensity points (ρ=0.8) where release-time
 // wake scans dominate the event loop — the incremental blocked-waiter
-// engine's target regime. The case names feed the CI benchmark gate
+// engine's target regime. The probe= rows re-run a small-p and a
+// large-p point with a live attribution or series recorder attached,
+// so BENCH_sim.json records the probe-on throughput alongside the
+// nil-probe path. The case names feed the CI benchmark gate
 // (cmd/bench and the probe-overhead check), so they must stay stable.
 func BenchmarkEngineThroughput(b *testing.B) {
 	cases := []struct {
@@ -353,29 +357,49 @@ func BenchmarkEngineThroughput(b *testing.B) {
 		cfg    string
 		rho    float64
 		p, res int
+		probe  string // "", "attr" or "series": observability recorder attached per run
 	}{
-		{"16/16x1x1 SBUS/2", "16/16x1x1 SBUS/2", 0.5, 16, 32},
-		{"16/1x16x16 XBAR/2", "16/1x16x16 XBAR/2", 0.5, 16, 32},
-		{"16/1x16x16 OMEGA/2", "16/1x16x16 OMEGA/2", 0.5, 16, 32},
-		{"64/1x64x64 XBAR/2 rho=0.8", "64/1x64x64 XBAR/2", 0.8, 64, 128},
-		{"64/1x64x64 OMEGA/1 rho=0.8", "64/1x64x64 OMEGA/1", 0.8, 64, 64},
-		{"128/1x128x128 XBAR/1 rho=0.8", "128/1x128x128 XBAR/1", 0.8, 128, 128},
+		{"16/16x1x1 SBUS/2", "16/16x1x1 SBUS/2", 0.5, 16, 32, ""},
+		{"16/1x16x16 XBAR/2", "16/1x16x16 XBAR/2", 0.5, 16, 32, ""},
+		{"16/1x16x16 OMEGA/2", "16/1x16x16 OMEGA/2", 0.5, 16, 32, ""},
+		{"64/1x64x64 XBAR/2 rho=0.8", "64/1x64x64 XBAR/2", 0.8, 64, 128, ""},
+		{"64/1x64x64 OMEGA/1 rho=0.8", "64/1x64x64 OMEGA/1", 0.8, 64, 64, ""},
+		{"128/1x128x128 XBAR/1 rho=0.8", "128/1x128x128 XBAR/1", 0.8, 128, 128, ""},
 		// Large-p points: the calendar-queue + SoA kernel's target regime
 		// (EventQueueAuto selects the calendar at these sizes). Omega
 		// networks cap at 64×64, so the large omega rows are partitioned
 		// clusters of 64-wide subnetworks.
-		{"1024/1x1024x1024 XBAR/1 rho=0.8", "1024/1x1024x1024 XBAR/1", 0.8, 1024, 1024},
-		{"1024/16x64x64 OMEGA/1 rho=0.8", "1024/16x64x64 OMEGA/1", 0.8, 1024, 1024},
-		{"4096/64x64x64 XBAR/1 rho=0.8", "4096/64x64x64 XBAR/1", 0.8, 4096, 4096},
-		{"4096/64x64x64 OMEGA/1 rho=0.8", "4096/64x64x64 OMEGA/1", 0.8, 4096, 4096},
+		{"1024/1x1024x1024 XBAR/1 rho=0.8", "1024/1x1024x1024 XBAR/1", 0.8, 1024, 1024, ""},
+		{"1024/16x64x64 OMEGA/1 rho=0.8", "1024/16x64x64 OMEGA/1", 0.8, 1024, 1024, ""},
+		{"4096/64x64x64 XBAR/1 rho=0.8", "4096/64x64x64 XBAR/1", 0.8, 4096, 4096, ""},
+		{"4096/64x64x64 OMEGA/1 rho=0.8", "4096/64x64x64 OMEGA/1", 0.8, 4096, 4096, ""},
+		// Probe-on rows: same workloads with an attribution or series
+		// recorder live, covering both queue kernels (heap at p=16,
+		// calendar at p=4096).
+		{"16/1x16x16 OMEGA/2 probe=attr", "16/1x16x16 OMEGA/2", 0.5, 16, 32, "attr"},
+		{"16/1x16x16 OMEGA/2 probe=series", "16/1x16x16 OMEGA/2", 0.5, 16, 32, "series"},
+		{"4096/64x64x64 XBAR/1 rho=0.8 probe=attr", "4096/64x64x64 XBAR/1", 0.8, 4096, 4096, "attr"},
+		{"4096/64x64x64 XBAR/1 rho=0.8 probe=series", "4096/64x64x64 XBAR/1", 0.8, 4096, 4096, "series"},
 	}
 	for _, c := range cases {
 		lambda := queueing.LambdaForIntensity(c.rho, c.p, 1, 0.1, c.res)
+		mkProbe := func() obs.Probe {
+			switch c.probe {
+			case "attr":
+				return obs.NewAttrRecorder(10)
+			case "series":
+				s := obs.NewSeriesRecorder(c.p, 1)
+				s.Reserve(4096)
+				return s
+			}
+			return nil
+		}
 		b.Run(c.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				net := benchNet(b, c.cfg, config.BuildOptions{})
 				if _, err := sim.Run(net, sim.Config{
 					Lambda: lambda, MuN: 1, MuS: 0.1, Seed: 1, Warmup: 100, Samples: 20000,
+					Probe: mkProbe(),
 				}); err != nil {
 					b.Fatal(err)
 				}

@@ -36,6 +36,8 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
+	"sync"
 	"time"
 
 	"rsin/internal/cost"
@@ -43,6 +45,7 @@ import (
 	"rsin/internal/invariant"
 	"rsin/internal/obs"
 	"rsin/internal/runner"
+	"rsin/internal/sim"
 	"rsin/internal/workload"
 )
 
@@ -59,6 +62,10 @@ func main() {
 
 		traceOut   = flag.String("trace", "", "write a wall-clock Chrome trace_event JSON of the worker pool's job schedule to this file (open in Perfetto)")
 		metricsOut = flag.String("metrics", "", "write per-artifact runner telemetry (wall time, worker occupancy, job count) as JSON to this file")
+		attrOut    = flag.String("attr", "", "collect a latency-attribution report for every simulated sweep cell and write them as one rsin-attr-set/1 JSON file (byte-identical for any -workers value)")
+		attrTopK   = flag.Int("attr-topk", 10, "slowest requests kept per run in the -attr reports")
+		seriesOut  = flag.String("series", "", "collect simulated-time series (queue length, busy resources, blocked waiters) for every simulated sweep cell into one rsin-series-set/1 JSON file")
+		seriesDt   = flag.Float64("series-dt", 1, "simulated-time grid step for -series samples")
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	)
@@ -88,6 +95,10 @@ func main() {
 	}
 	q.Workers = *workers
 	q.Reps = *reps
+	var collector *obsCollector
+	if *attrOut != "" || *seriesOut != "" {
+		collector = newObsCollector(*attrOut != "", *seriesOut != "", *attrTopK, *seriesDt)
+	}
 	collectTelemetry := *traceOut != "" || *metricsOut != "" || *timing
 	render := func(fig experiments.Figure) error {
 		if *format == "csv" {
@@ -211,6 +222,9 @@ func main() {
 			ran = append(ran, artifactRun{name: n, tel: tel})
 		}
 		q.Telemetry = tel
+		if collector != nil {
+			q.Observe = collector.observe(n)
+		}
 		if err := run(n); err != nil {
 			fatal(sink, err)
 		}
@@ -278,6 +292,102 @@ func main() {
 			fatal(sink, err)
 		}
 	}
+	if collector != nil {
+		if err := collector.write(*attrOut, *seriesOut); err != nil {
+			fatal(sink, err)
+		}
+	}
+}
+
+// obsCollector gathers per-cell attribution reports and time series
+// across every simulated sweep of the regenerated artifacts. Cells
+// complete on worker goroutines in nondeterministic wall-clock order,
+// so results are keyed by the cell's identity label and written in
+// sorted-label order — the files are byte-identical for any -workers
+// value, like every other simulated-time artifact.
+type obsCollector struct {
+	mu                   sync.Mutex
+	wantAttr, wantSeries bool
+	topK                 int
+	dt                   float64
+	atts                 map[string]obs.Attribution
+	series               map[string]obs.Series
+}
+
+func newObsCollector(wantAttr, wantSeries bool, topK int, dt float64) *obsCollector {
+	return &obsCollector{
+		wantAttr: wantAttr, wantSeries: wantSeries,
+		topK: topK, dt: dt,
+		atts:   map[string]obs.Attribution{},
+		series: map[string]obs.Series{},
+	}
+}
+
+// observe returns the Quality.Observe hook for one artifact.
+func (c *obsCollector) observe(artifact string) func(experiments.ObservedRun) (obs.Probe, func(sim.Result)) {
+	return func(cell experiments.ObservedRun) (obs.Probe, func(sim.Result)) {
+		label := fmt.Sprintf("fig %s %s x=%g rep=%d", artifact, cell.Config, cell.X, cell.Rep)
+		var probes []obs.Probe
+		var attr *obs.AttrRecorder
+		var ser *obs.SeriesRecorder
+		if c.wantAttr {
+			attr = obs.NewAttrRecorder(c.topK)
+			probes = append(probes, attr)
+		}
+		if c.wantSeries {
+			ser = obs.NewSeriesRecorder(cell.Config.Processors, c.dt)
+			probes = append(probes, ser)
+		}
+		finish := func(res sim.Result) {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			if attr != nil {
+				c.atts[label] = attr.Report(label, sim.BlockingRows(res))
+			}
+			if ser != nil {
+				c.series[label] = ser.Finish(label, res.SimTime)
+			}
+		}
+		return obs.Multi(probes...), finish
+	}
+}
+
+// write flushes the collected documents in sorted-label order.
+func (c *obsCollector) write(attrPath, seriesPath string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if attrPath != "" {
+		atts := make([]obs.Attribution, 0, len(c.atts))
+		for _, label := range sortedLabels(c.atts) {
+			atts = append(atts, c.atts[label])
+		}
+		if err := writeJSONFile(attrPath, func(f *os.File) error {
+			return obs.WriteAttributions(f, atts)
+		}); err != nil {
+			return err
+		}
+	}
+	if seriesPath != "" {
+		series := make([]obs.Series, 0, len(c.series))
+		for _, label := range sortedLabels(c.series) {
+			series = append(series, c.series[label])
+		}
+		if err := writeJSONFile(seriesPath, func(f *os.File) error {
+			return obs.WriteSeries(f, series)
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func sortedLabels[V any](m map[string]V) []string {
+	labels := make([]string, 0, len(m))
+	for l := range m {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	return labels
 }
 
 // fatal reports err on the sink (clearing any transient status line

@@ -21,9 +21,15 @@
 // Observability (see internal/obs): -trace writes a Chrome trace_event
 // JSON of the simulated request lifecycle (openable in Perfetto or
 // chrome://tracing), -metrics writes per-replication metric snapshots
-// as JSON, and -cpuprofile/-memprofile write pprof profiles. Trace and
-// metrics files are keyed by simulated time only, so they are
-// byte-identical for any -workers value, exactly like stdout.
+// as JSON, -attr writes per-replication latency-attribution reports
+// (per-phase wait/block/tx/svc histograms, slowest requests, blocking
+// breakdown; rsin-attr-set/1), -series writes simulated-time series of
+// queue length, busy resources and blocked waiters sampled every
+// -series-dt time units (rsin-series-set/1), and
+// -cpuprofile/-memprofile write pprof profiles. All simulated-time
+// files are keyed by simulated time only, so they are byte-identical
+// for any -workers value, exactly like stdout. Inspect the attr and
+// series files with cmd/rsintrace.
 //
 // -queue selects the kernel's pending-event structure (auto, heap, or
 // calendar; auto picks the calendar queue for p ≥ 64). The choice is
@@ -66,6 +72,10 @@ func main() {
 
 		traceOut   = flag.String("trace", "", "write a Chrome trace_event JSON of the simulated lifecycle to this file (open in Perfetto; byte-identical for any -workers value)")
 		metricsOut = flag.String("metrics", "", "write per-replication metrics snapshots (counters, time-weighted gauges, delay histograms) as JSON to this file")
+		attrOut    = flag.String("attr", "", "write per-replication latency-attribution reports (rsin-attr-set/1 JSON) to this file")
+		attrTopK   = flag.Int("attr-topk", 10, "slowest requests kept per replication in the -attr report")
+		seriesOut  = flag.String("series", "", "write per-replication simulated-time series (rsin-series-set/1 JSON) to this file")
+		seriesDt   = flag.Float64("series-dt", 1, "simulated-time grid step for -series samples")
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	)
@@ -149,6 +159,20 @@ func main() {
 			regs[r] = obs.NewRegistry()
 		}
 	}
+	var attrs []*obs.AttrRecorder
+	if *attrOut != "" {
+		attrs = make([]*obs.AttrRecorder, *reps)
+		for r := range attrs {
+			attrs[r] = obs.NewAttrRecorder(*attrTopK)
+		}
+	}
+	var seriesRecs []*obs.SeriesRecorder
+	if *seriesOut != "" {
+		seriesRecs = make([]*obs.SeriesRecorder, *reps)
+		for r := range seriesRecs {
+			seriesRecs[r] = obs.NewSeriesRecorder(cfg.Processors, *seriesDt)
+		}
+	}
 	type repOut struct {
 		res sim.Result
 		err error
@@ -166,6 +190,12 @@ func main() {
 			rec := obs.NewRecorder(regs[r])
 			rec.PreparePorts(net.Ports())
 			probe = obs.Multi(probe, rec)
+		}
+		if attrs != nil {
+			probe = obs.Multi(probe, attrs[r])
+		}
+		if seriesRecs != nil {
+			probe = obs.Multi(probe, seriesRecs[r])
 		}
 		res, err := sim.Run(net, sim.Config{
 			Lambda: lam, MuN: muN, MuS: muS,
@@ -191,6 +221,28 @@ func main() {
 			snaps[r] = regs[r].Snapshot(outs[r].res.SimTime)
 		}
 		if err := writeMetricsFile(*metricsOut, snaps); err != nil {
+			fatal(err)
+		}
+	}
+	if *attrOut != "" {
+		atts := make([]obs.Attribution, *reps)
+		for r := range atts {
+			atts[r] = attrs[r].Report(repLabel(cfg.String(), r), sim.BlockingRows(outs[r].res))
+		}
+		if err := writeObsFile(*attrOut, func(f *os.File) error {
+			return obs.WriteAttributions(f, atts)
+		}); err != nil {
+			fatal(err)
+		}
+	}
+	if *seriesOut != "" {
+		series := make([]obs.Series, *reps)
+		for r := range series {
+			series[r] = seriesRecs[r].Finish(repLabel(cfg.String(), r), outs[r].res.SimTime)
+		}
+		if err := writeObsFile(*seriesOut, func(f *os.File) error {
+			return obs.WriteSeries(f, series)
+		}); err != nil {
 			fatal(err)
 		}
 	}
@@ -249,13 +301,25 @@ func writeTraceFile(path string, traces []*obs.Trace) error {
 // writeMetricsFile writes the per-replication metrics snapshots, in
 // replication order, as one JSON document.
 func writeMetricsFile(path string, snaps []obs.Snapshot) error {
+	return writeObsFile(path, func(f *os.File) error {
+		return obs.WriteSnapshots(f, snaps)
+	})
+}
+
+// writeObsFile creates path and runs the given writer against it.
+func writeObsFile(path string, write func(*os.File) error) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	if err := obs.WriteSnapshots(f, snaps); err != nil {
+	if err := write(f); err != nil {
 		f.Close()
 		return err
 	}
 	return f.Close()
+}
+
+// repLabel names one replication's report.
+func repLabel(cfg string, r int) string {
+	return fmt.Sprintf("%s rep=%d", cfg, r)
 }

@@ -1,0 +1,133 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden rsintrace report")
+
+// goldenTrace is the repository's committed golden trace (the p=256
+// partitioned-Omega configuration golden_trace_test.go pins).
+const goldenTrace = "../../internal/sim/testdata/golden_trace_p256_omega.txt.gz"
+
+// goldenReport is the committed rsintrace summary of that trace; the
+// CI observability job rebuilds it with the real binary and cmps.
+const goldenReport = "testdata/golden_trace_report.txt"
+
+// TestTraceReportMatchesGolden pins the trace summarizer's output on
+// the golden trace byte for byte: the report derives purely from the
+// trace bytes, so it can only change when the trace format, the golden
+// configuration, or the summarizer itself changes — all of which should
+// be deliberate (-update).
+func TestTraceReportMatchesGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runTrace(&buf, goldenTrace); err != nil {
+		t.Fatal(err)
+	}
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(goldenReport), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenReport, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", goldenReport, buf.Len())
+		return
+	}
+	want, err := os.ReadFile(goldenReport)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("trace report drifted from %s:\n--- got ---\n%s\n--- want ---\n%s",
+			goldenReport, buf.Bytes(), want)
+	}
+}
+
+// TestTraceReportDeterministic renders the report twice and requires
+// identical bytes (no map-order leakage in the summarizer).
+func TestTraceReportDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := runTrace(&a, goldenTrace); err != nil {
+		t.Fatal(err)
+	}
+	if err := runTrace(&b, goldenTrace); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two renders of the same trace differ")
+	}
+}
+
+// TestAttrTopSeriesRoundTrip exercises the attr/top/series/diff paths
+// end to end on synthetic documents.
+func TestAttrTopSeriesRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	attrPath := filepath.Join(dir, "attr.json")
+	writeTestAttr(t, attrPath, 1.0)
+	seriesPath := filepath.Join(dir, "series.json")
+	writeTestSeries(t, seriesPath)
+
+	var buf bytes.Buffer
+	if err := runAttr(&buf, attrPath, false); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"run 0:", "wait", "block", "resp", "blocking breakdown", "path_block"} {
+		if !bytes.Contains(buf.Bytes(), []byte(want)) {
+			t.Fatalf("attr report missing %q:\n%s", want, buf.Bytes())
+		}
+	}
+
+	buf.Reset()
+	if err := runTop(&buf, attrPath, 3); err != nil {
+		t.Fatal(err)
+	}
+	if lines := bytes.Count(buf.Bytes(), []byte("\n")); lines != 1+2 {
+		t.Fatalf("top -k 3 on a 2-entry table printed %d lines:\n%s", lines, buf.Bytes())
+	}
+
+	buf.Reset()
+	if err := runSeries(&buf, seriesPath, false); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"queue_len", "busy_ports", "blocked_waiters", "MSER-5"} {
+		if !bytes.Contains(buf.Bytes(), []byte(want)) {
+			t.Fatalf("series report missing %q:\n%s", want, buf.Bytes())
+		}
+	}
+}
+
+// TestDiffFlagsRegressions checks both diff verdicts and the regression
+// signal.
+func TestDiffFlagsRegressions(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.json")
+	b := filepath.Join(dir, "b.json")
+	writeTestAttr(t, a, 1.0)
+	writeTestAttr(t, b, 1.0)
+	var buf bytes.Buffer
+	regressed, err := runDiff(&buf, a, b, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed {
+		t.Fatalf("identical files flagged as regression:\n%s", buf.Bytes())
+	}
+
+	writeTestAttr(t, b, 2.0) // all phases doubled
+	buf.Reset()
+	regressed, err = runDiff(&buf, a, b, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regressed {
+		t.Fatalf("doubled phases not flagged:\n%s", buf.Bytes())
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("REGRESSION")) {
+		t.Fatalf("diff output missing REGRESSION verdict:\n%s", buf.Bytes())
+	}
+}

@@ -1,0 +1,204 @@
+// Report rendering for rsintrace: every function here maps parsed
+// documents to text (or canonical JSON) deterministically — no wall
+// clock, no map iteration into output — so identical inputs always
+// produce identical bytes.
+
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"rsin/internal/obs"
+	"rsin/internal/stats"
+)
+
+// phaseOrder is the printing order of the attribution phases; resp is
+// rendered last as the total the other four decompose.
+var phaseOrder = []string{"wait", "block", "tx", "svc", "resp"}
+
+func loadAttr(path string) ([]obs.Attribution, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return obs.ReadAttributions(f)
+}
+
+// runAttr prints the per-run attribution tables.
+func runAttr(w io.Writer, path string, asJSON bool) error {
+	runs, err := loadAttr(path)
+	if err != nil {
+		return err
+	}
+	if asJSON {
+		return obs.WriteAttributions(w, runs)
+	}
+	for i, att := range runs {
+		if i > 0 {
+			fmt.Fprintln(w)
+		}
+		fmt.Fprintf(w, "run %d: %s\n", i, att.Label)
+		fmt.Fprintf(w, "  completed %d, measured %d\n", att.Completed, att.Measured)
+		respSum := att.Phase("resp").Sum
+		fmt.Fprintf(w, "  %-6s %12s %12s %12s %12s %8s\n", "phase", "mean", "p50", "p95", "p99", "share")
+		for _, name := range phaseOrder {
+			p := att.Phase(name)
+			share := "-"
+			if name != "resp" && respSum > 0 {
+				share = fmt.Sprintf("%.1f%%", 100*p.Sum/respSum)
+			}
+			fmt.Fprintf(w, "  %-6s %12.6g %12.6g %12.6g %12.6g %8s\n",
+				name, p.Mean, p.P50, p.P95, p.P99, share)
+		}
+		if len(att.Blocking) > 0 {
+			fmt.Fprintf(w, "  blocking breakdown:\n")
+			for _, row := range att.Blocking {
+				fmt.Fprintf(w, "    %-28s %12d\n", row.Name, row.Count)
+			}
+		}
+	}
+	return nil
+}
+
+// runTop prints the k slowest requests across every run, ranked by
+// response descending with ties broken by run index then request id —
+// a total order, so the listing is deterministic.
+func runTop(w io.Writer, path string, k int) error {
+	runs, err := loadAttr(path)
+	if err != nil {
+		return err
+	}
+	type entry struct {
+		run int
+		req obs.SlowRequest
+	}
+	var all []entry
+	for i, att := range runs {
+		for _, s := range att.Slowest {
+			all = append(all, entry{run: i, req: s})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.req.Resp != b.req.Resp {
+			return a.req.Resp > b.req.Resp
+		}
+		if a.run != b.run {
+			return a.run < b.run
+		}
+		return a.req.Req < b.req.Req
+	})
+	if k >= 0 && len(all) > k {
+		all = all[:k]
+	}
+	fmt.Fprintf(w, "%-4s %-8s %-5s %-5s %12s %12s %12s %12s %12s\n",
+		"run", "req", "pid", "port", "resp", "wait", "block", "tx", "svc")
+	for _, e := range all {
+		s := e.req
+		fmt.Fprintf(w, "%-4d %-8d %-5d %-5d %12.6g %12.6g %12.6g %12.6g %12.6g\n",
+			e.run, s.Req, s.Pid, s.Port, s.Resp, s.Wait, s.Block, s.Tx, s.Svc)
+	}
+	return nil
+}
+
+// runSeries prints per-run time-series summaries plus the MSER-5
+// warmup-truncation estimate computed over the queue-length series.
+func runSeries(w io.Writer, path string, asJSON bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	runs, err := obs.ReadSeries(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	if asJSON {
+		return obs.WriteSeries(w, runs)
+	}
+	for i, s := range runs {
+		if i > 0 {
+			fmt.Fprintln(w)
+		}
+		fmt.Fprintf(w, "run %d: %s\n", i, s.Label)
+		fmt.Fprintf(w, "  dt %g, %d samples (simulated span %g)\n",
+			s.Dt, s.Len(), float64(s.Len())*s.Dt)
+		fmt.Fprintf(w, "  %-16s %12s %12s %12s\n", "variable", "mean", "max", "final")
+		for _, v := range []struct {
+			name string
+			x    []float64
+		}{
+			{"queue_len", s.QueueLen},
+			{"busy_ports", s.BusyPorts},
+			{"blocked_waiters", s.BlockedWaiters},
+		} {
+			mean, max, final := summarize(v.x)
+			fmt.Fprintf(w, "  %-16s %12.6g %12.6g %12.6g\n", v.name, mean, max, final)
+		}
+		cut := stats.MSER5(s.QueueLen)
+		fmt.Fprintf(w, "  MSER-5 warmup estimate: %d samples (t=%g)\n",
+			cut, float64(cut)*s.Dt)
+	}
+	return nil
+}
+
+func summarize(x []float64) (mean, max, final float64) {
+	if len(x) == 0 {
+		return 0, 0, 0
+	}
+	var sum float64
+	for _, v := range x {
+		sum += v
+		if v > max {
+			max = v
+		}
+	}
+	return sum / float64(len(x)), max, x[len(x)-1]
+}
+
+// runDiff compares two attribution files run by run and phase by
+// phase. A phase whose mean grew by more than tol (relative) is
+// flagged as a regression; one that shrank by more than tol is noted
+// as improved. Returns whether any regression was found.
+func runDiff(w io.Writer, pathA, pathB string, tol float64) (bool, error) {
+	a, err := loadAttr(pathA)
+	if err != nil {
+		return false, err
+	}
+	b, err := loadAttr(pathB)
+	if err != nil {
+		return false, err
+	}
+	if len(a) != len(b) {
+		return false, fmt.Errorf("run count mismatch: %s has %d, %s has %d", pathA, len(a), pathB, len(b))
+	}
+	regressed := false
+	for i := range a {
+		fmt.Fprintf(w, "run %d: %s\n", i, a[i].Label)
+		fmt.Fprintf(w, "  %-6s %12s %12s %9s  %s\n", "phase", "old mean", "new mean", "change", "verdict")
+		for _, name := range phaseOrder {
+			pa, pb := a[i].Phase(name), b[i].Phase(name)
+			var rel float64
+			switch {
+			case pa.Mean != 0:
+				rel = (pb.Mean - pa.Mean) / pa.Mean
+			case pb.Mean != 0:
+				rel = 1 // phase appeared from nothing: treat as full growth
+			}
+			verdict := "ok"
+			if rel > tol {
+				verdict = "REGRESSION"
+				regressed = true
+			} else if rel < -tol {
+				verdict = "improved"
+			}
+			fmt.Fprintf(w, "  %-6s %12.6g %12.6g %8.2f%%  %s\n",
+				name, pa.Mean, pb.Mean, 100*rel, verdict)
+		}
+	}
+	return regressed, nil
+}

@@ -1,0 +1,169 @@
+// Chrome trace reader: reconstructs a population-level latency
+// attribution from the wait/tx/svc slices a simulated-lifecycle trace
+// carries (internal/obs.Trace), plus the reject/reroute blocking
+// breakdown. The trace format does not split a request's queueing
+// delay into its wait and block components — that detail lives in the
+// attr reports — so the trace view attributes time to the three
+// population phases the slices encode: queueing delay d, transmission
+// and service.
+
+package main
+
+import (
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"rsin/internal/stats"
+)
+
+// rawTraceDoc is the subset of the Chrome trace JSON Object Format the
+// summarizer needs.
+type rawTraceDoc struct {
+	TraceEvents []rawTraceEvent `json:"traceEvents"`
+}
+
+type rawTraceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args"`
+}
+
+// openMaybeGzip opens path, transparently ungzipping when the content
+// starts with the gzip magic bytes (the golden traces are committed
+// compressed).
+func openMaybeGzip(path string) (io.ReadCloser, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	head := make([]byte, 2)
+	n, err := io.ReadFull(f, head)
+	if err != nil && err != io.ErrUnexpectedEOF && err != io.EOF {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if n == 2 && head[0] == 0x1f && head[1] == 0x8b {
+		zr, err := gzip.NewReader(f)
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		return &gzipFile{zr: zr, f: f}, nil
+	}
+	return f, nil
+}
+
+type gzipFile struct {
+	zr *gzip.Reader
+	f  *os.File
+}
+
+func (g *gzipFile) Read(p []byte) (int, error) { return g.zr.Read(p) }
+func (g *gzipFile) Close() error {
+	if err := g.zr.Close(); err != nil {
+		g.f.Close()
+		return err
+	}
+	return g.f.Close()
+}
+
+// traceRunSummary accumulates one trace process's (= one run's)
+// population attribution.
+type traceRunSummary struct {
+	name              string
+	wait, tx, svc     stats.Welford
+	rejects, reroutes int64 // blocking instants
+	rejectCount       int64 // in-network rejects summed over instants
+}
+
+// runTrace summarizes a Chrome trace produced by the simulator.
+func runTrace(w io.Writer, path string) error {
+	r, err := openMaybeGzip(path)
+	if err != nil {
+		return err
+	}
+	var doc rawTraceDoc
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		r.Close()
+		return fmt.Errorf("parsing %s: %w", path, err)
+	}
+	if err := r.Close(); err != nil {
+		return err
+	}
+
+	byRun := map[int]*traceRunSummary{}
+	run := func(pid int) *traceRunSummary {
+		s := byRun[pid]
+		if s == nil {
+			s = &traceRunSummary{}
+			byRun[pid] = s
+		}
+		return s
+	}
+	argInt := func(e rawTraceEvent, key string) int64 {
+		if v, ok := e.Args[key].(float64); ok {
+			return int64(v)
+		}
+		return 0
+	}
+	for _, e := range doc.TraceEvents {
+		s := run(e.Pid)
+		switch {
+		case e.Ph == "M" && e.Name == "process_name":
+			if name, ok := e.Args["name"].(string); ok {
+				s.name = name
+			}
+		case e.Ph == "X" && e.Name == "wait":
+			s.wait.Add(e.Dur)
+		case e.Ph == "X" && e.Name == "tx":
+			s.tx.Add(e.Dur)
+		case e.Ph == "X" && e.Name == "svc":
+			s.svc.Add(e.Dur)
+		case e.Ph == "I" && e.Name == "reject":
+			s.rejects++
+			s.rejectCount += argInt(e, "rejects")
+		case e.Ph == "I" && e.Name == "reroute":
+			s.reroutes++
+			s.rejectCount += argInt(e, "rejects")
+		}
+	}
+
+	pids := make([]int, 0, len(byRun))
+	for pid := range byRun {
+		pids = append(pids, pid)
+	}
+	sort.Ints(pids)
+	for i, pid := range pids {
+		s := byRun[pid]
+		if i > 0 {
+			fmt.Fprintln(w)
+		}
+		name := s.name
+		if name == "" {
+			name = fmt.Sprintf("process %d", pid)
+		}
+		fmt.Fprintf(w, "%s\n", name)
+		fmt.Fprintf(w, "  %-16s %8s %12s\n", "phase", "n", "mean")
+		fmt.Fprintf(w, "  %-16s %8d %12.6g\n", "queue delay d", s.wait.N(), s.wait.Mean())
+		fmt.Fprintf(w, "  %-16s %8d %12.6g\n", "transmit", s.tx.N(), s.tx.Mean())
+		fmt.Fprintf(w, "  %-16s %8d %12.6g\n", "service", s.svc.N(), s.svc.Mean())
+		fmt.Fprintf(w, "  blocking: %d rejected attempts, %d reroutes, %d in-network rejects\n",
+			s.rejects, s.reroutes, s.rejectCount)
+		if g := s.wait.N(); g > 0 {
+			fmt.Fprintf(w, "  rejects per grant: %.6g\n", float64(s.rejectCount)/float64(g))
+		}
+	}
+	return nil
+}

@@ -20,6 +20,7 @@ import (
 	"strings"
 
 	"rsin/internal/config"
+	"rsin/internal/obs"
 	"rsin/internal/queueing"
 	"rsin/internal/runner"
 	"rsin/internal/sim"
@@ -50,6 +51,26 @@ type Quality struct {
 	// execution window and worker assignment (runner.Telemetry). Purely
 	// observational.
 	Telemetry *runner.Telemetry
+
+	// Observe, when non-nil, is called once per (configuration, point,
+	// replication) sweep cell before its simulation runs. It returns the
+	// probe to attach (nil leaves the cell unobserved) and an optional
+	// finish callback invoked with the completed run's Result — the hook
+	// the figures CLI uses to collect attribution reports and
+	// simulated-time series alongside a sweep. Cells execute on worker
+	// goroutines concurrently, so implementations must synchronize any
+	// shared state; keying collected output by the cell identity (not by
+	// completion order) keeps it deterministic for any Workers value.
+	// The finish callback is not invoked for saturated or failed runs.
+	Observe func(ObservedRun) (obs.Probe, func(sim.Result))
+}
+
+// ObservedRun identifies one sweep cell handed to Quality.Observe.
+type ObservedRun struct {
+	Config config.Config
+	Point  int     // index on the sweep's abscissa grid
+	X      float64 // abscissa value (traffic intensity ρ, ratio, ...)
+	Rep    int     // replication index
 }
 
 // Quick is a fast preset for tests (noisier CIs).
@@ -299,6 +320,11 @@ func simPoint(cfg config.Config, muN, muS, x, lambda float64, q Quality, opt con
 	if err != nil {
 		return Point{}, err
 	}
+	var probe obs.Probe
+	var finish func(sim.Result)
+	if q.Observe != nil {
+		probe, finish = q.Observe(ObservedRun{Config: cfg, Point: point, X: x, Rep: rep})
+	}
 	res, err := sim.Run(net, sim.Config{
 		Lambda:  lambda,
 		MuN:     muN,
@@ -306,6 +332,7 @@ func simPoint(cfg config.Config, muN, muS, x, lambda float64, q Quality, opt con
 		Seed:    runner.DeriveSeed(base, point, 2*rep),
 		Warmup:  q.Warmup,
 		Samples: q.Samples,
+		Probe:   probe,
 	})
 	if errors.Is(err, sim.ErrSaturated) {
 		// Saturation is an expected operating condition the figures plot
@@ -315,6 +342,9 @@ func simPoint(cfg config.Config, muN, muS, x, lambda float64, q Quality, opt con
 	}
 	if err != nil {
 		return Point{}, err
+	}
+	if finish != nil {
+		finish(res)
 	}
 	return Point{
 		X:        x,

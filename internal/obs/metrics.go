@@ -8,8 +8,10 @@ package obs
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 
 	"rsin/internal/stats"
@@ -19,36 +21,83 @@ import (
 // on any incompatible change.
 const SnapshotSchema = "rsin-metrics-snapshot/v1"
 
-// Counter is a monotone event count.
+// ErrNonFiniteMetric is the sentinel wrapped by the panics Counter,
+// UpDown and Gauge raise on NaN/Inf updates or on decrementing a
+// monotone counter. Feeding a metric garbage is a programming error in
+// the instrumentation site, so the accumulators panic rather than
+// silently corrupting every later reading — but with an error value
+// wrapping this sentinel so recovery code can classify it with
+// errors.Is, the same pattern as stats.ErrTimeBackwards.
+var ErrNonFiniteMetric = errors.New("obs: invalid metric update")
+
+// Counter is a monotone event count: it only ever moves up. For a
+// state variable that both rises and falls (in-flight requests,
+// attribution deltas), use UpDown — Add here panics on negative n so a
+// signed delta can never silently break the monotonicity that rate
+// computations and snapshot diffing rely on.
 type Counter struct{ v int64 }
 
 // Inc adds one.
 func (c *Counter) Inc() { c.v++ }
 
-// Add adds n (n may be any sign; metrics semantics stay monotone only
-// if callers keep it so).
-func (c *Counter) Add(n int64) { c.v += n }
+// Add adds n. n must be non-negative; Add panics (wrapping
+// ErrNonFiniteMetric) on a negative delta.
+func (c *Counter) Add(n int64) {
+	if n < 0 {
+		panic(fmt.Errorf("%w: Counter.Add(%d) would decrement a monotone counter (use UpDown)", ErrNonFiniteMetric, n))
+	}
+	c.v += n
+}
 
 // Value returns the current count.
 func (c *Counter) Value() int64 { return c.v }
 
+// UpDown is a signed event count: a counter whose deltas may have any
+// sign (outstanding requests, net queue movement). It exists so that
+// Counter can stay strictly monotone.
+type UpDown struct{ v int64 }
+
+// Add shifts the count by n (any sign).
+func (u *UpDown) Add(n int64) { u.v += n }
+
+// Value returns the current count.
+func (u *UpDown) Value() int64 { return u.v }
+
 // Gauge is a piecewise-constant state variable tracked as a
 // time-weighted average over simulated time (queue length, busy
 // resources, per-bus occupancy).
+//
+// The zero value is ready to use and reads as value 0: an Add before
+// any Set shifts off an implicit 0, so Add(t, d) on a fresh gauge is
+// exactly Set(t, d). The first observation also opens the averaging
+// window, so a gauge first touched at time t carries no weight for
+// [0, t) — PreparePorts-style priming (Set(0, 0)) is how a caller
+// includes the idle prefix.
 type Gauge struct {
 	tw   stats.TimeWeighted
 	last float64
 }
 
 // Set records value v at simulated time t. Times must be
-// non-decreasing.
+// non-decreasing and v finite; Set panics (wrapping ErrNonFiniteMetric)
+// on NaN or ±Inf, which would silently corrupt the time-weighted mean.
 func (g *Gauge) Set(t, v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		panic(fmt.Errorf("%w: Gauge.Set(%g, %g)", ErrNonFiniteMetric, t, v))
+	}
 	g.tw.Set(t, v)
 	g.last = v
 }
 
-// Add shifts the gauge by delta at time t.
-func (g *Gauge) Add(t, delta float64) { g.Set(t, g.last+delta) }
+// Add shifts the gauge by delta at time t (off the zero-value's
+// implicit 0 when nothing was ever Set). delta must be finite; Add
+// panics (wrapping ErrNonFiniteMetric) on NaN or ±Inf.
+func (g *Gauge) Add(t, delta float64) {
+	if math.IsNaN(delta) || math.IsInf(delta, 0) {
+		panic(fmt.Errorf("%w: Gauge.Add(%g, %g)", ErrNonFiniteMetric, t, delta))
+	}
+	g.Set(t, g.last+delta)
+}
 
 // Last returns the most recently set value.
 func (g *Gauge) Last() float64 { return g.last }
@@ -68,6 +117,7 @@ func (g *Gauge) meanAt(t float64) float64 {
 // per run, and parallel replications each own a registry.
 type Registry struct {
 	counters map[string]*Counter
+	updowns  map[string]*UpDown
 	gauges   map[string]*Gauge
 	hists    map[string]*stats.Log2Histogram
 }
@@ -76,6 +126,7 @@ type Registry struct {
 func NewRegistry() *Registry {
 	return &Registry{
 		counters: map[string]*Counter{},
+		updowns:  map[string]*UpDown{},
 		gauges:   map[string]*Gauge{},
 		hists:    map[string]*stats.Log2Histogram{},
 	}
@@ -89,6 +140,18 @@ func (r *Registry) Counter(name string) *Counter {
 		r.counters[name] = c
 	}
 	return c
+}
+
+// UpDown returns the named signed counter, creating it on first use.
+// The namespace is separate from Counter's: the same name may exist in
+// both without aliasing.
+func (r *Registry) UpDown(name string) *UpDown {
+	u := r.updowns[name]
+	if u == nil {
+		u = &UpDown{}
+		r.updowns[name] = u
+	}
+	return u
 }
 
 // Gauge returns the named gauge, creating it on first use.
@@ -120,6 +183,9 @@ func (r *Registry) Snapshot(simTime float64) Snapshot {
 	for _, name := range sortedKeys(r.counters) {
 		s.Counters = append(s.Counters, CounterSnap{Name: name, Value: r.counters[name].v})
 	}
+	for _, name := range sortedKeys(r.updowns) {
+		s.UpDowns = append(s.UpDowns, UpDownSnap{Name: name, Value: r.updowns[name].v})
+	}
 	for _, name := range sortedKeys(r.gauges) {
 		g := r.gauges[name]
 		s.Gauges = append(s.Gauges, GaugeSnap{
@@ -127,21 +193,26 @@ func (r *Registry) Snapshot(simTime float64) Snapshot {
 		})
 	}
 	for _, name := range sortedKeys(r.hists) {
-		h := r.hists[name]
-		hs := HistSnap{
-			Name: name, Count: h.N(), Sum: h.Sum(), Mean: h.Mean(),
-			Under: h.Under(), Over: h.Over(),
-			P50: h.Quantile(0.50), P95: h.Quantile(0.95), P99: h.Quantile(0.99),
-		}
-		for i := 0; i < h.NumBuckets(); i++ {
-			if c := h.Bucket(i); c > 0 {
-				lo, hi := h.BucketBounds(i)
-				hs.Buckets = append(hs.Buckets, BucketSnap{Lo: lo, Hi: hi, Count: c})
-			}
-		}
-		s.Histograms = append(s.Histograms, hs)
+		s.Histograms = append(s.Histograms, histSnapOf(name, r.hists[name]))
 	}
 	return s
+}
+
+// histSnapOf freezes one histogram into its snapshot entry (shared by
+// Registry.Snapshot and the attribution report).
+func histSnapOf(name string, h *stats.Log2Histogram) HistSnap {
+	hs := HistSnap{
+		Name: name, Count: h.N(), Sum: h.Sum(), Mean: h.Mean(),
+		Under: h.Under(), Over: h.Over(),
+		P50: h.Quantile(0.50), P95: h.Quantile(0.95), P99: h.Quantile(0.99),
+	}
+	for i := 0; i < h.NumBuckets(); i++ {
+		if c := h.Bucket(i); c > 0 {
+			lo, hi := h.BucketBounds(i)
+			hs.Buckets = append(hs.Buckets, BucketSnap{Lo: lo, Hi: hi, Count: c})
+		}
+	}
+	return hs
 }
 
 func sortedKeys[V any](m map[string]V) []string {
@@ -158,12 +229,20 @@ type Snapshot struct {
 	Schema     string        `json:"schema"`
 	SimTime    float64       `json:"sim_time"`
 	Counters   []CounterSnap `json:"counters,omitempty"`
+	UpDowns    []UpDownSnap  `json:"updowns,omitempty"`
 	Gauges     []GaugeSnap   `json:"gauges,omitempty"`
 	Histograms []HistSnap    `json:"histograms,omitempty"`
 }
 
 // CounterSnap is one counter entry of a Snapshot.
 type CounterSnap struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// UpDownSnap is one signed-counter entry of a Snapshot. The section is
+// additive (omitted when empty), so the schema stays at v1.
+type UpDownSnap struct {
 	Name  string `json:"name"`
 	Value int64  `json:"value"`
 }

@@ -58,6 +58,17 @@ const (
 	// changes as distinct events (the engine folds reroutes into
 	// KindGrant's Aux today).
 	KindReroute
+	// KindComplete: the request's full lifecycle closed (service done).
+	// Emitted after KindRelease at the same instant, it carries the
+	// exact latency attribution: Dur is the response time (arrival →
+	// service completion) and Wait + Block + Tx + Svc is its phase
+	// decomposition, fixed up by the engine so the left-to-right sum
+	// ((Wait+Block)+Tx)+Svc reproduces Dur bit for bit, and Wait+Block
+	// reproduces the request's queueing delay d bit for bit. Req is the
+	// request id (arrival order, 0-based) and Aux is 1 when the request
+	// lies inside the measurement window (it contributed to
+	// Result.Response), 0 during warmup.
+	KindComplete
 
 	numKinds
 )
@@ -81,6 +92,8 @@ func (k Kind) String() string {
 		return "reject"
 	case KindReroute:
 		return "reroute"
+	case KindComplete:
+		return "complete"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -88,14 +101,26 @@ func (k Kind) String() string {
 
 // Event is one lifecycle occurrence, stamped with simulated time.
 // Fields beyond T/Kind/Pid are kind-specific; Port is -1 when no port
-// is involved.
+// is involved, Req is -1 on events that predate request tracking (the
+// engine stamps it on arrival/enqueue/transmit-start/complete events).
+// The phase fields Wait/Block/Tx/Svc are populated on KindComplete
+// only; see its documentation for the exact-sum contract.
 type Event struct {
 	T    float64 // simulated time
 	Kind Kind
 	Pid  int     // processor (or requester) index
 	Port int     // output port, -1 when not applicable
-	Aux  int64   // kind-specific count (queue length, rejects)
-	Dur  float64 // kind-specific span (queue wait, service time)
+	Req  int64   // request id (arrival order), -1 when not applicable
+	Aux  int64   // kind-specific count (queue length, rejects, measured flag)
+	Dur  float64 // kind-specific span (queue wait, service time, response)
+
+	// KindComplete latency attribution (zero otherwise): time queued
+	// behind the processor's earlier tasks, time blocked on the network
+	// at the head of the queue, transmission span, and service span.
+	Wait  float64
+	Block float64
+	Tx    float64
+	Svc   float64
 }
 
 // Probe consumes lifecycle events. Implementations must not block and

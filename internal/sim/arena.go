@@ -14,6 +14,7 @@ package sim
 // any p this process could hold in memory.
 type taskArena struct {
 	arrival []float64
+	req     []int64 // request id (arrival order), for latency attribution
 	next    []int32 // FIFO successor when live; free-list successor when freed
 	free    int32   // head of the LIFO free list, arenaNil when empty
 	live    int32   // currently allocated slots
@@ -30,26 +31,30 @@ func newTaskArena(capHint int) *taskArena {
 	}
 	return &taskArena{
 		arrival: make([]float64, 0, capHint),
+		req:     make([]int64, 0, capHint),
 		next:    make([]int32, 0, capHint),
 		free:    arenaNil,
 	}
 }
 
-// alloc returns a slot holding the given arrival time, with its FIFO
-// link cleared. Freed slots are reused in LIFO order before the arena
-// grows.
+// alloc returns a slot holding the given arrival time and request id,
+// with its FIFO link cleared. Freed slots are reused in LIFO order
+// before the arena grows.
 //
 //lint:hotpath
-func (a *taskArena) alloc(arrival float64) int32 {
+func (a *taskArena) alloc(arrival float64, req int64) int32 {
 	a.live++
 	if i := a.free; i != arenaNil {
 		a.free = a.next[i]
 		a.arrival[i] = arrival
+		a.req[i] = req
 		a.next[i] = arenaNil
 		return i
 	}
 	//lint:ignore hotalloc arena growth stops at the run's peak backlog; pinned by TestHotStructuresZeroAlloc
 	a.arrival = append(a.arrival, arrival)
+	//lint:ignore hotalloc arena growth stops at the run's peak backlog; pinned by TestHotStructuresZeroAlloc
+	a.req = append(a.req, req)
 	//lint:ignore hotalloc arena growth stops at the run's peak backlog; pinned by TestHotStructuresZeroAlloc
 	a.next = append(a.next, arenaNil)
 	return int32(len(a.next) - 1)
@@ -61,6 +66,7 @@ func (a *taskArena) alloc(arrival float64) int32 {
 //lint:hotpath
 func (a *taskArena) release(i int32) {
 	a.arrival[i] = 0
+	a.req[i] = 0
 	a.next[i] = a.free
 	a.free = i
 	a.live--

@@ -17,25 +17,25 @@ import (
 // remain.
 func TestArenaLIFOReuse(t *testing.T) {
 	a := newTaskArena(0)
-	s0 := a.alloc(1)
-	s1 := a.alloc(2)
-	s2 := a.alloc(3)
+	s0 := a.alloc(1, 10)
+	s1 := a.alloc(2, 11)
+	s2 := a.alloc(3, 12)
 	if a.capSlots() != 3 || a.liveCount() != 3 {
 		t.Fatalf("cap=%d live=%d after 3 allocs", a.capSlots(), a.liveCount())
 	}
 	a.release(s0)
 	a.release(s2) // free list now (LIFO): s2, s0
-	if got := a.alloc(4); got != s2 {
+	if got := a.alloc(4, 13); got != s2 {
 		t.Fatalf("first realloc = slot %d, want most recently freed %d", got, s2)
 	}
-	if got := a.alloc(5); got != s0 {
+	if got := a.alloc(5, 14); got != s0 {
 		t.Fatalf("second realloc = slot %d, want %d", got, s0)
 	}
 	if a.capSlots() != 3 {
 		t.Fatalf("arena grew to %d slots with free slots available", a.capSlots())
 	}
-	if a.arrival[s1] != 2 {
-		t.Fatalf("live slot %d clobbered: arrival %g", s1, a.arrival[s1])
+	if a.arrival[s1] != 2 || a.req[s1] != 11 {
+		t.Fatalf("live slot %d clobbered: arrival %g req %d", s1, a.arrival[s1], a.req[s1])
 	}
 }
 
@@ -52,7 +52,7 @@ func TestArenaPropertyDisjoint(t *testing.T) {
 	for step := 0; step < 20000; step++ {
 		if src.Intn(2) == 0 || len(live) == 0 {
 			arrival := float64(step)
-			slot := a.alloc(arrival)
+			slot := a.alloc(arrival, int64(step))
 			if _, clash := live[slot]; clash {
 				t.Fatalf("step %d: alloc returned live slot %d", step, slot)
 			}
@@ -109,10 +109,10 @@ func TestProcTableFIFO(t *testing.T) {
 		pid := src.Intn(p)
 		if src.Intn(2) == 0 || len(ref[pid]) == 0 {
 			arrival := float64(step) * 0.5
-			pt.push(pid, arrival)
+			pt.push(pid, arrival, int64(step))
 			ref[pid] = append(ref[pid], arrival)
 		} else {
-			got := pt.popFront(pid)
+			got, _ := pt.popFront(pid)
 			want := ref[pid][0]
 			ref[pid] = ref[pid][1:]
 			if got != want {
@@ -138,12 +138,12 @@ func TestHotStructuresZeroAlloc(t *testing.T) {
 	// Warm to peak backlog: 4 queued tasks per processor.
 	for pid := 0; pid < p; pid++ {
 		for k := 0; k < 4; k++ {
-			pt.push(pid, 1)
+			pt.push(pid, 1, 0)
 		}
 	}
 	if avg := testing.AllocsPerRun(200, func() {
 		for pid := 0; pid < p; pid++ {
-			pt.push(pid, 2)
+			pt.push(pid, 2, 0)
 			pt.popFront(pid)
 		}
 	}); avg != 0 {

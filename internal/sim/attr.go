@@ -1,0 +1,24 @@
+package sim
+
+import "rsin/internal/obs"
+
+// BlockingRows flattens a run's blocking telemetry into the attribution
+// report's blocking section: the aggregate acquire counters first —
+// separating resource-busy blocking from network-path (bus or stage)
+// blocking and in-network rejects — then the network's fine-grained
+// detail counters (per-stage conflicts, per-bus busy counts) in their
+// published order. Both sources are deterministic per run, so the rows
+// inherit the report's byte stability.
+func BlockingRows(res Result) []obs.BlockRow {
+	rows := []obs.BlockRow{
+		{Name: "acquire_attempts", Count: res.Telemetry.Attempts},
+		{Name: "acquire_failures", Count: res.Telemetry.Failures},
+		{Name: "resource_block", Count: res.Telemetry.ResourceBlock},
+		{Name: "path_block", Count: res.Telemetry.PathBlock},
+		{Name: "network_rejects", Count: res.Telemetry.Rejects},
+	}
+	for _, d := range res.Details {
+		rows = append(rows, obs.BlockRow{Name: d.Name, Count: d.Value})
+	}
+	return rows
+}

@@ -246,6 +246,14 @@ func Run(net core.Network, cfg Config) (res Result, err error) {
 		wakeScratch = make([]int, p)
 	}
 
+	// headSince[pid] is the simulated time pid's current head-of-queue
+	// task became eligible to transmit: the first instant the engine
+	// could attempt allocation for it (task at the head AND processor
+	// idle). It feeds the per-request latency attribution — the span
+	// arrival → headSince is queue wait behind the processor's earlier
+	// tasks, headSince → transmit start is network blocking.
+	headSince := make([]float64, p)
+
 	var (
 		q         = newEventQueue(cfg.EventQueue, p)
 		seq       uint64
@@ -319,7 +327,8 @@ func Run(net core.Network, cfg Config) (res Result, err error) {
 	// granted). Returns the queueing delay of the task.
 	//lint:hotpath grant-to-transmission turnaround
 	startTx := func(pid int, g core.Grant) float64 {
-		arrivedAt := pt.popFront(pid)
+		eligibleAt := headSince[pid]
+		arrivedAt, req := pt.popFront(pid)
 		setQ(-1)
 		pt.transmitting[pid] = true
 		setBusy(1)
@@ -328,7 +337,20 @@ func Run(net core.Network, cfg Config) (res Result, err error) {
 		d := now - arrivedAt
 		//lint:coldpath probe emission, nil on the measured fast path
 		if probe != nil {
-			probe.Event(obs.Event{T: now, Kind: obs.KindTransmitStart, Pid: pid, Port: g.Port, Dur: d})
+			// Latency attribution: split d into queue wait (arrival →
+			// eligible) and network blocking (eligible → now). arrivedAt ≤
+			// eligibleAt ≤ now, and IEEE subtraction is monotone in the
+			// subtrahend, so 0 ≤ block ≤ d without clamping; the fixup
+			// loop then nudges wait until wait+block reproduces d bit for
+			// bit (one float64 subtraction is almost always enough — the
+			// loop is a guard against the rare double rounding).
+			block := now - eligibleAt
+			wait := d - block
+			for i := 0; i < 8 && wait+block != d; i++ {
+				wait += d - (wait + block)
+			}
+			grants.setAttr(gi, req, now, wait, block)
+			probe.Event(obs.Event{T: now, Kind: obs.KindTransmitStart, Pid: pid, Port: g.Port, Req: req, Dur: d})
 		}
 		return d
 	}
@@ -380,7 +402,7 @@ func Run(net core.Network, cfg Config) (res Result, err error) {
 			//lint:coldpath probe emission, nil on the measured fast path
 			if probe != nil {
 				if rej := rejectCount() - rejBefore; rej > 0 {
-					probe.Event(obs.Event{T: now, Kind: obs.KindReject, Pid: pid, Port: -1, Aux: rej})
+					probe.Event(obs.Event{T: now, Kind: obs.KindReject, Pid: pid, Port: -1, Req: pt.arena.req[pt.qhead[pid]], Aux: rej})
 				}
 			}
 			blocked.add(pid)
@@ -388,7 +410,7 @@ func Run(net core.Network, cfg Config) (res Result, err error) {
 		}
 		//lint:coldpath probe emission, nil on the measured fast path
 		if probe != nil {
-			probe.Event(obs.Event{T: now, Kind: obs.KindGrant, Pid: pid, Port: g.Port, Aux: rejectCount() - rejBefore})
+			probe.Event(obs.Event{T: now, Kind: obs.KindGrant, Pid: pid, Port: g.Port, Req: pt.arena.req[pt.qhead[pid]], Aux: rejectCount() - rejBefore})
 		}
 		blocked.remove(pid)
 		recordDelay(startTx(pid, g))
@@ -542,12 +564,18 @@ func Run(net core.Network, cfg Config) (res Result, err error) {
 		}
 		switch e.kind {
 		case evArrival:
+			req := arrivedTotal
 			arrivedTotal++
 			//lint:coldpath probe emission, nil on the measured fast path
 			if probe != nil {
-				probe.Event(obs.Event{T: now, Kind: obs.KindArrival, Pid: e.pid, Port: -1})
+				probe.Event(obs.Event{T: now, Kind: obs.KindArrival, Pid: e.pid, Port: -1, Req: req})
 			}
-			pt.push(e.pid, now)
+			if pt.qlen[e.pid] == 0 && !pt.transmitting[e.pid] {
+				// The task heads an empty queue on an idle processor: it
+				// is eligible to transmit the instant it arrives.
+				headSince[e.pid] = now
+			}
+			pt.push(e.pid, now, req)
 			setQ(1)
 			//lint:coldpath saturation abort, terminates the run
 			if pt.queued(e.pid) >= cfg.MaxQueue {
@@ -559,7 +587,7 @@ func Run(net core.Network, cfg Config) (res Result, err error) {
 			// this task.
 			//lint:coldpath probe emission, nil on the measured fast path
 			if probe != nil {
-				probe.Event(obs.Event{T: now, Kind: obs.KindEnqueue, Pid: e.pid, Port: -1, Aux: int64(pt.queued(e.pid))})
+				probe.Event(obs.Event{T: now, Kind: obs.KindEnqueue, Pid: e.pid, Port: -1, Req: req, Aux: int64(pt.queued(e.pid))})
 			}
 			tryStart(e.pid)
 			schedule(event{time: now + src.Exp(rates[e.pid]), kind: evArrival, pid: e.pid})
@@ -570,8 +598,10 @@ func Run(net core.Network, cfg Config) (res Result, err error) {
 			if pt.qlen[e.pid] > 0 {
 				// The processor turned idle with work still queued: it
 				// is now a blocked waiter (its next task has not been
-				// granted), so register it before the wake below.
+				// granted), so register it before the wake below. Its
+				// head-of-queue task becomes eligible to transmit now.
 				blocked.add(e.pid)
+				headSince[e.pid] = now
 			}
 			setBusy(-1)
 			inService++
@@ -579,7 +609,7 @@ func Run(net core.Network, cfg Config) (res Result, err error) {
 			schedule(event{time: now + src.Exp(cfg.MuS), kind: evSvcDone, gidx: e.gidx})
 			//lint:coldpath probe emission, nil on the measured fast path
 			if probe != nil {
-				probe.Event(obs.Event{T: now, Kind: obs.KindTransmitEnd, Pid: e.pid, Port: g.Port})
+				probe.Event(obs.Event{T: now, Kind: obs.KindTransmitEnd, Pid: e.pid, Port: g.Port, Req: grants.req(e.gidx)})
 			}
 			// The freed path (and bus) may unblock queued tasks,
 			// including this processor's own next task.
@@ -599,7 +629,28 @@ func Run(net core.Network, cfg Config) (res Result, err error) {
 			}
 			//lint:coldpath probe emission, nil on the measured fast path
 			if probe != nil {
-				probe.Event(obs.Event{T: now, Kind: obs.KindRelease, Pid: s.g.Processor, Port: s.g.Port, Dur: now - s.txDone})
+				probe.Event(obs.Event{T: now, Kind: obs.KindRelease, Pid: s.g.Processor, Port: s.g.Port, Req: s.req, Dur: now - s.txDone})
+				// Close the request with its exact latency attribution.
+				// resp is the same expression the Response estimator
+				// consumes, tx/svc telescope between the stored stamps;
+				// the fixup loop nudges svc until the left-to-right sum
+				// (wait+block)+tx+svc reproduces resp bit for bit.
+				resp := now - s.arrived
+				tx := s.txDone - s.txStart
+				svc := now - s.txDone
+				partial := (s.wait + s.block) + tx
+				for i := 0; i < 8 && partial+svc != resp; i++ {
+					svc += resp - (partial + svc)
+				}
+				var measured int64
+				if warmedUp && s.arrived >= cfg.Warmup {
+					measured = 1
+				}
+				probe.Event(obs.Event{
+					T: now, Kind: obs.KindComplete, Pid: s.g.Processor, Port: s.g.Port,
+					Req: s.req, Aux: measured, Dur: resp,
+					Wait: s.wait, Block: s.block, Tx: tx, Svc: svc,
+				})
 			}
 			// The freed resource may unblock queued tasks.
 			wake()
@@ -662,6 +713,14 @@ type grantSlot struct {
 	g       core.Grant
 	arrived float64
 	txDone  float64 // when transmission ended (service span start)
+
+	// Latency-attribution payload, populated by setAttr only when a
+	// probe is attached (the oracle kernel and the nil-probe fast path
+	// never touch it; put zeroes it on slot reuse).
+	req     int64
+	txStart float64
+	wait    float64 // queue-wait phase, fixed up so wait+block == delay d
+	block   float64 // network-blocking phase
 }
 
 func newGrantTable() *grantTable { return &grantTable{} }
@@ -681,6 +740,26 @@ func (t *grantTable) put(g core.Grant, arrived float64) int {
 
 //lint:hotpath
 func (t *grantTable) get(i int) core.Grant { return t.slots[i].g }
+
+// setAttr stores slot i's latency-attribution payload: request id,
+// transmit-start time, and the fixed-up queue-wait/network-blocking
+// phases. Called only when a probe is attached; put's composite-literal
+// assignment clears the fields on slot reuse, so the oracle kernel
+// (which never calls setAttr) is unaffected.
+//
+//lint:hotpath
+func (t *grantTable) setAttr(i int, req int64, txStart, wait, block float64) {
+	s := &t.slots[i]
+	s.req = req
+	s.txStart = txStart
+	s.wait = wait
+	s.block = block
+}
+
+// req returns slot i's request id (meaningful only after setAttr).
+//
+//lint:hotpath
+func (t *grantTable) req(i int) int64 { return t.slots[i].req }
 
 // markTx stamps the time slot i's transmission completed, so the
 // service-release event can report the service span.

@@ -41,11 +41,12 @@ func newProcTable(p, capHint int) *procTable {
 	return pt
 }
 
-// push appends a task with the given arrival time to pid's FIFO.
+// push appends a task with the given arrival time and request id to
+// pid's FIFO.
 //
 //lint:hotpath
-func (pt *procTable) push(pid int, arrival float64) {
-	i := pt.arena.alloc(arrival)
+func (pt *procTable) push(pid int, arrival float64, req int64) {
+	i := pt.arena.alloc(arrival, req)
 	if tail := pt.qtail[pid]; tail != arenaNil {
 		pt.arena.next[tail] = i
 	} else {
@@ -56,12 +57,13 @@ func (pt *procTable) push(pid int, arrival float64) {
 }
 
 // popFront removes pid's head-of-queue task and returns its arrival
-// time. The queue must be nonempty.
+// time and request id. The queue must be nonempty.
 //
 //lint:hotpath
-func (pt *procTable) popFront(pid int) float64 {
+func (pt *procTable) popFront(pid int) (float64, int64) {
 	i := pt.qhead[pid]
 	arrival := pt.arena.arrival[i]
+	req := pt.arena.req[i]
 	next := pt.arena.next[i]
 	pt.qhead[pid] = next
 	if next == arenaNil {
@@ -69,7 +71,7 @@ func (pt *procTable) popFront(pid int) float64 {
 	}
 	pt.qlen[pid]--
 	pt.arena.release(i)
-	return arrival
+	return arrival, req
 }
 
 // queued returns the number of tasks waiting in pid's FIFO.
