@@ -18,6 +18,7 @@ import (
 	"rsin/internal/obs"
 	"rsin/internal/omega"
 	"rsin/internal/queueing"
+	"rsin/internal/shard"
 	"rsin/internal/sim"
 	"rsin/internal/workload"
 )
@@ -400,6 +401,54 @@ func BenchmarkEngineThroughput(b *testing.B) {
 				if _, err := sim.Run(net, sim.Config{
 					Lambda: lambda, MuN: 1, MuS: 0.1, Seed: 1, Warmup: 100, Samples: 20000,
 					Probe: mkProbe(),
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkShardedRun compares the sharded orchestrator (internal/
+// shard) against the classic monolithic event loop on the large-p
+// partitioned configurations: one p=4096 system of 64 independent
+// 64-wide sub-networks, run as a single 4096-processor event loop
+// (classic) and as 64 sub-simulations batched into 8 jobs (shards=8).
+// The sharded rows win even single-threaded — 64 small event loops are
+// cheaper than one huge one (shorter queues, O(sub-p) wake scans) —
+// and additionally parallelize across cores. The sample budget
+// (Samples=64000, BatchSize=1000) is chosen so the whole-batch quotas
+// deal exactly one batch to each sub-network: both estimators collect
+// exactly 64000 samples, making the wall-clock ratio a same-work
+// comparison. The case names feed the CI benchmark gate (cmd/bench),
+// so they must stay stable.
+func BenchmarkShardedRun(b *testing.B) {
+	cases := []struct {
+		name   string
+		cfg    string
+		shards int // 0 = classic monolithic sim.Run
+	}{
+		{"4096/64x64x64 XBAR/1 rho=0.8 classic", "4096/64x64x64 XBAR/1", 0},
+		{"4096/64x64x64 XBAR/1 rho=0.8 shards=8", "4096/64x64x64 XBAR/1", 8},
+		{"4096/64x64x64 OMEGA/1 rho=0.8 classic", "4096/64x64x64 OMEGA/1", 0},
+		{"4096/64x64x64 OMEGA/1 rho=0.8 shards=8", "4096/64x64x64 OMEGA/1", 8},
+	}
+	lambda := queueing.LambdaForIntensity(0.8, 4096, 1, 0.1, 4096)
+	simCfg := sim.Config{Lambda: lambda, MuN: 1, MuS: 0.1, Seed: 1, Warmup: 100, Samples: 64000, BatchSize: 1000}
+	for _, c := range cases {
+		cfg, err := config.Parse(c.cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if c.shards == 0 {
+					net := benchNet(b, c.cfg, config.BuildOptions{})
+					if _, err := sim.Run(net, simCfg); err != nil {
+						b.Fatal(err)
+					}
+				} else if _, err := shard.Run(shard.Config{
+					Net: cfg, Sim: simCfg, Shards: c.shards,
 				}); err != nil {
 					b.Fatal(err)
 				}

@@ -9,7 +9,7 @@
 //
 //	{
 //	  "schema": "rsin-bench/1",
-//	  "go_bench": "BenchmarkEngineThroughput",
+//	  "go_bench": "BenchmarkEngineThroughput|BenchmarkShardedRun",
 //	  "results": [
 //	    {"name": "BenchmarkEngineThroughput/16/16x1x1_SBUS/2", "ns_per_op": 12345678},
 //	    ...
@@ -56,7 +56,7 @@ const schema = "rsin-bench/1"
 
 func main() {
 	var (
-		benchRe   = flag.String("bench", "BenchmarkEngineThroughput", "go test -bench regexp")
+		benchRe   = flag.String("bench", "BenchmarkEngineThroughput|BenchmarkShardedRun", "go test -bench regexp")
 		pkg       = flag.String("pkg", ".", "package to benchmark")
 		count     = flag.Int("count", 5, "runs per benchmark; the minimum ns/op is kept")
 		benchtime = flag.String("benchtime", "3x", "go test -benchtime per run")

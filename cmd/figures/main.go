@@ -56,6 +56,7 @@ func main() {
 		format   = flag.String("format", "text", "output format for figure tables: text or csv")
 		workers  = flag.Int("workers", 0, "worker goroutines per sweep (0 = all CPUs); results are identical for any value")
 		reps     = flag.Int("reps", 1, "independent replications per sweep point, pooled into one estimate")
+		shards   = flag.Int("shards", 0, "route simulated sweep cells through the sharded per-sub-network orchestrator batched into this many jobs (0 = classic single event loop; incompatible with -attr/-series)")
 		progress = flag.Bool("progress", false, "report live per-sweep progress on stderr")
 		timing   = flag.Bool("timing", true, "report per-artifact wall-clock timing on stderr")
 		check    = flag.Bool("check", false, "enable runtime model-invariant checks (see internal/invariant)")
@@ -95,6 +96,10 @@ func main() {
 	}
 	q.Workers = *workers
 	q.Reps = *reps
+	q.Shards = *shards
+	if *shards > 0 && (*attrOut != "" || *seriesOut != "") {
+		fatal(sink, fmt.Errorf("-shards is incompatible with -attr/-series: the observation hook attaches one probe per sweep cell, which has no per-sub-network form (use cmd/rsinsim -shards for merged attribution and series)"))
+	}
 	var collector *obsCollector
 	if *attrOut != "" || *seriesOut != "" {
 		collector = newObsCollector(*attrOut != "", *seriesOut != "", *attrTopK, *seriesDt)

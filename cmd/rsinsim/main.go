@@ -18,6 +18,20 @@
 // the per-replication means. The output is bit-for-bit identical for
 // any -workers value.
 //
+// With -shards S > 0, the configuration's i independent sub-networks
+// (requests never cross a partition) run as a sharded simulation: each
+// sub-network simulates on its own stream derived on the shard axis
+// (runner.DeriveShardSeed) and the per-sub results — and any
+// -trace/-attr/-series recorders — merge deterministically in
+// ascending sub-network order (internal/shard, the obs shard merges).
+// S only batches sub-networks into runner jobs, so stdout and every
+// observability file are byte-identical for any -shards and -workers
+// combination. Replication r of a sharded run derives its base seed as
+// DeriveSeed(seed, 0, r); sharding is a different estimator from the
+// classic single event loop (see internal/shard), so sharded and
+// unsharded runs agree statistically, not bitwise. -metrics is not
+// supported with -shards.
+//
 // Observability (see internal/obs): -trace writes a Chrome trace_event
 // JSON of the simulated request lifecycle (openable in Perfetto or
 // chrome://tracing), -metrics writes per-replication metric snapshots
@@ -51,6 +65,7 @@ import (
 	"rsin/internal/obs"
 	"rsin/internal/queueing"
 	"rsin/internal/runner"
+	"rsin/internal/shard"
 	"rsin/internal/sim"
 	"rsin/internal/stats"
 )
@@ -66,6 +81,7 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "simulation seed")
 		reps     = flag.Int("reps", 1, "independent replications, pooled into one estimate")
 		workers  = flag.Int("workers", 0, "worker goroutines for replications (0 = all CPUs)")
+		shards   = flag.Int("shards", 0, "run the independent sub-networks as a sharded simulation batched into this many jobs, merged deterministically (0 = classic single event loop; output is byte-identical for any positive value)")
 		analytic = flag.Bool("analytic", false, "use the exact Markov analysis (SBUS configurations only)")
 		check    = flag.Bool("check", false, "enable runtime model-invariant checks (see internal/invariant)")
 		queue    = flag.String("queue", "auto", "pending-event structure: auto, heap, or calendar (auto picks the calendar for p ≥ 64; all three produce byte-identical output)")
@@ -140,70 +156,161 @@ func main() {
 	if *reps < 1 {
 		*reps = 1
 	}
+	if *shards < 0 {
+		fatal(fmt.Errorf("-shards must be non-negative (got %d)", *shards))
+	}
+	if *shards > 0 && *metricsOut != "" {
+		fatal(fmt.Errorf("-metrics is not supported with -shards: metric registries have no shard merge (use -trace, -attr, or -series)"))
+	}
 	sw := obs.NewStopwatch()
-	// Per-replication observers: each replication owns its probe, so
+	// Per-replication observers: each replication owns its probe (in
+	// sharded mode, one probe per sub-network, merged after the run), so
 	// parallel reps never share mutable state; the exporters below merge
 	// them in replication order, keeping the files byte-identical for
 	// any -workers value.
 	var traces []*obs.Trace
-	var regs []*obs.Registry
 	if *traceOut != "" {
 		traces = make([]*obs.Trace, *reps)
-		for r := range traces {
-			traces[r] = obs.NewTrace()
-		}
-	}
-	if *metricsOut != "" {
-		regs = make([]*obs.Registry, *reps)
-		for r := range regs {
-			regs[r] = obs.NewRegistry()
-		}
 	}
 	var attrs []*obs.AttrRecorder
 	if *attrOut != "" {
 		attrs = make([]*obs.AttrRecorder, *reps)
-		for r := range attrs {
-			attrs[r] = obs.NewAttrRecorder(*attrTopK)
-		}
 	}
+	var regs []*obs.Registry
 	var seriesRecs []*obs.SeriesRecorder
-	if *seriesOut != "" {
-		seriesRecs = make([]*obs.SeriesRecorder, *reps)
-		for r := range seriesRecs {
-			seriesRecs[r] = obs.NewSeriesRecorder(cfg.Processors, *seriesDt)
-		}
-	}
+	var seriesMerged []obs.Series
 	type repOut struct {
 		res sim.Result
 		err error
 	}
-	outs := runner.Map(runner.Options{Workers: *workers}, *reps, func(r int) repOut {
-		net, err := cfg.Build(config.BuildOptions{Seed: runner.DeriveSeed(*seed, 0, 2*r+1)})
-		if err != nil {
-			return repOut{err: err}
+	var outs []repOut
+	if *shards > 0 {
+		if *seriesOut != "" {
+			seriesMerged = make([]obs.Series, *reps)
 		}
-		var probe obs.Probe
-		if traces != nil {
-			probe = traces[r]
+		outs = make([]repOut, *reps)
+		// Replications run sequentially; each one parallelizes over its
+		// sub-network jobs on -workers goroutines.
+		for r := range outs {
+			shcfg := shard.Config{
+				Net: cfg,
+				Sim: sim.Config{
+					Lambda: lam, MuN: muN, MuS: muS,
+					Seed:   runner.DeriveSeed(*seed, 0, r),
+					Warmup: *warmup, Samples: *samples, EventQueue: queueKind,
+				},
+				Shards:  *shards,
+				Workers: *workers,
+			}
+			subs := cfg.Networks
+			var subTraces []*obs.Trace
+			var subAttrs []*obs.AttrRecorder
+			var subSeries []*obs.SeriesRecorder
+			if traces != nil {
+				subTraces = make([]*obs.Trace, subs)
+			}
+			if attrs != nil {
+				subAttrs = make([]*obs.AttrRecorder, subs)
+			}
+			if seriesMerged != nil {
+				subSeries = make([]*obs.SeriesRecorder, subs)
+			}
+			if subTraces != nil || subAttrs != nil || subSeries != nil {
+				shcfg.Probe = func(s int) obs.Probe {
+					var p obs.Probe
+					if subTraces != nil {
+						subTraces[s] = obs.NewTrace()
+						p = subTraces[s]
+					}
+					if subAttrs != nil {
+						subAttrs[s] = obs.NewAttrRecorder(*attrTopK)
+						p = obs.Multi(p, subAttrs[s])
+					}
+					if subSeries != nil {
+						subSeries[s] = obs.NewSeriesRecorder(cfg.Inputs, *seriesDt)
+						p = obs.Multi(p, subSeries[s])
+					}
+					return p
+				}
+			}
+			plan, results, err := shard.RunSubs(shcfg)
+			if err != nil {
+				fatal(err)
+			}
+			res, err := shard.Merge(plan, muS, results)
+			if err != nil {
+				fatal(err)
+			}
+			outs[r] = repOut{res: res}
+			if subTraces != nil {
+				traces[r] = obs.MergeShardTraces(subTraces, plan.PidOff, plan.PortOff)
+			}
+			if subAttrs != nil {
+				m := obs.NewAttrRecorder(*attrTopK)
+				for s, a := range subAttrs {
+					m.Merge(a, s, plan.PidOff[s], plan.PortOff[s])
+				}
+				attrs[r] = m
+			}
+			if subSeries != nil {
+				runs := make([]obs.Series, subs)
+				for s, sr := range subSeries {
+					runs[s] = sr.Finish(fmt.Sprintf("sub%02d", s), results[s].SimTime)
+				}
+				merged, err := obs.MergeSeries(repLabel(cfg.String(), r), runs)
+				if err != nil {
+					fatal(err)
+				}
+				seriesMerged[r] = merged
+			}
 		}
-		if regs != nil {
-			rec := obs.NewRecorder(regs[r])
-			rec.PreparePorts(net.Ports())
-			probe = obs.Multi(probe, rec)
+	} else {
+		for r := range traces {
+			traces[r] = obs.NewTrace()
 		}
-		if attrs != nil {
-			probe = obs.Multi(probe, attrs[r])
+		if *metricsOut != "" {
+			regs = make([]*obs.Registry, *reps)
+			for r := range regs {
+				regs[r] = obs.NewRegistry()
+			}
 		}
-		if seriesRecs != nil {
-			probe = obs.Multi(probe, seriesRecs[r])
+		for r := range attrs {
+			attrs[r] = obs.NewAttrRecorder(*attrTopK)
 		}
-		res, err := sim.Run(net, sim.Config{
-			Lambda: lam, MuN: muN, MuS: muS,
-			Seed: runner.DeriveSeed(*seed, 0, 2*r), Warmup: *warmup, Samples: *samples,
-			Probe: probe, EventQueue: queueKind,
+		if *seriesOut != "" {
+			seriesRecs = make([]*obs.SeriesRecorder, *reps)
+			for r := range seriesRecs {
+				seriesRecs[r] = obs.NewSeriesRecorder(cfg.Processors, *seriesDt)
+			}
+		}
+		outs = runner.Map(runner.Options{Workers: *workers}, *reps, func(r int) repOut {
+			net, err := cfg.Build(config.BuildOptions{Seed: runner.DeriveSeed(*seed, 0, 2*r+1)})
+			if err != nil {
+				return repOut{err: err}
+			}
+			var probe obs.Probe
+			if traces != nil {
+				probe = traces[r]
+			}
+			if regs != nil {
+				rec := obs.NewRecorder(regs[r])
+				rec.PreparePorts(net.Ports())
+				probe = obs.Multi(probe, rec)
+			}
+			if attrs != nil {
+				probe = obs.Multi(probe, attrs[r])
+			}
+			if seriesRecs != nil {
+				probe = obs.Multi(probe, seriesRecs[r])
+			}
+			res, err := sim.Run(net, sim.Config{
+				Lambda: lam, MuN: muN, MuS: muS,
+				Seed: runner.DeriveSeed(*seed, 0, 2*r), Warmup: *warmup, Samples: *samples,
+				Probe: probe, EventQueue: queueKind,
+			})
+			return repOut{res: res, err: err}
 		})
-		return repOut{res: res, err: err}
-	})
+	}
 	for _, o := range outs {
 		if o.err != nil {
 			fatal(o.err)
@@ -238,7 +345,11 @@ func main() {
 	if *seriesOut != "" {
 		series := make([]obs.Series, *reps)
 		for r := range series {
-			series[r] = seriesRecs[r].Finish(repLabel(cfg.String(), r), outs[r].res.SimTime)
+			if seriesMerged != nil {
+				series[r] = seriesMerged[r]
+			} else {
+				series[r] = seriesRecs[r].Finish(repLabel(cfg.String(), r), outs[r].res.SimTime)
+			}
 		}
 		if err := writeObsFile(*seriesOut, func(f *os.File) error {
 			return obs.WriteSeries(f, series)

@@ -23,6 +23,7 @@ import (
 	"rsin/internal/obs"
 	"rsin/internal/queueing"
 	"rsin/internal/runner"
+	"rsin/internal/shard"
 	"rsin/internal/sim"
 	"rsin/internal/workload"
 )
@@ -46,6 +47,17 @@ type Quality struct {
 	Reps     int                   // independent replications per point, pooled (0/1 = single run)
 	Workers  int                   // worker goroutines for sweeps (0 = runtime.NumCPU())
 	Progress func(done, total int) // optional per-sweep progress callback
+
+	// Shards, when positive, routes every simulated sweep cell through
+	// the sharded orchestrator (internal/shard): the configuration's
+	// independent sub-networks simulate on per-sub derived streams,
+	// batched into Shards sequential jobs, and merge deterministically —
+	// cell results are byte-identical for every positive value. Sharding
+	// is a different estimator from the classic single event loop (see
+	// internal/shard), so the default 0 keeps the committed figures
+	// byte-stable. Incompatible with Observe: the hook attaches one
+	// probe per cell, which has no per-sub-network form.
+	Shards int
 
 	// Telemetry, when non-nil, records each sweep job's wall-clock
 	// execution window and worker assignment (runner.Telemetry). Purely
@@ -313,27 +325,48 @@ func simSeriesSet(cfgs []config.Config, muN, muS float64, rhos []float64, q Qual
 // simPoint measures one (point, replication) cell at abscissa x with
 // per-processor arrival rate lambda. The simulation stream uses rep
 // slot 2·rep and the network's internal policy stream 2·rep+1, so the
-// two never collide.
+// two never collide. With q.Shards > 0 the cell runs on the sharded
+// orchestrator instead, which derives every per-sub stream from the
+// cell's base simulation seed on the shard axis.
 func simPoint(cfg config.Config, muN, muS, x, lambda float64, q Quality, opt config.BuildOptions, base uint64, point, rep int) (Point, error) {
-	opt.Seed = runner.DeriveSeed(base, point, 2*rep+1)
-	net, err := cfg.Build(opt)
-	if err != nil {
-		return Point{}, err
-	}
-	var probe obs.Probe
-	var finish func(sim.Result)
-	if q.Observe != nil {
-		probe, finish = q.Observe(ObservedRun{Config: cfg, Point: point, X: x, Rep: rep})
-	}
-	res, err := sim.Run(net, sim.Config{
+	simCfg := sim.Config{
 		Lambda:  lambda,
 		MuN:     muN,
 		MuS:     muS,
 		Seed:    runner.DeriveSeed(base, point, 2*rep),
 		Warmup:  q.Warmup,
 		Samples: q.Samples,
-		Probe:   probe,
-	})
+	}
+	var res sim.Result
+	var err error
+	if q.Shards > 0 {
+		if q.Observe != nil {
+			return Point{}, errors.New("experiments: Quality.Observe is not supported with Quality.Shards")
+		}
+		// Sweep cells already fan out across the runner pool; the nested
+		// sharded run stays on one worker to avoid oversubscription.
+		res, err = shard.Run(shard.Config{
+			Net:     cfg,
+			Build:   opt,
+			Sim:     simCfg,
+			Shards:  q.Shards,
+			Workers: 1,
+		})
+	} else {
+		opt.Seed = runner.DeriveSeed(base, point, 2*rep+1)
+		net, berr := cfg.Build(opt)
+		if berr != nil {
+			return Point{}, berr
+		}
+		var finish func(sim.Result)
+		if q.Observe != nil {
+			simCfg.Probe, finish = q.Observe(ObservedRun{Config: cfg, Point: point, X: x, Rep: rep})
+		}
+		res, err = sim.Run(net, simCfg)
+		if err == nil && finish != nil {
+			finish(res)
+		}
+	}
 	if errors.Is(err, sim.ErrSaturated) {
 		// Saturation is an expected operating condition the figures plot
 		// as such; every other error (bad parameters, invariant
@@ -342,9 +375,6 @@ func simPoint(cfg config.Config, muN, muS, x, lambda float64, q Quality, opt con
 	}
 	if err != nil {
 		return Point{}, err
-	}
-	if finish != nil {
-		finish(res)
 	}
 	return Point{
 		X:        x,

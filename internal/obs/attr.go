@@ -82,12 +82,17 @@ func (a *AttrRecorder) Event(e Event) {
 }
 
 // slowerThan reports whether x ranks before y in the slowest table:
-// larger response first, ties broken by arrival order (smaller request
-// id first) so the ranking is a total order and the table is
-// deterministic.
+// larger response first, ties broken by shard (ascending — zero for
+// every entry of a single-run table, so the pre-shard ordering is
+// unchanged) and then by arrival order (smaller request id first).
+// (Shard, Req) identifies a request uniquely even in a merged table, so
+// the ranking is a total order and the table is deterministic.
 func slowerThan(x, y SlowRequest) bool {
 	if x.Resp != y.Resp {
 		return x.Resp > y.Resp
+	}
+	if x.Shard != y.Shard {
+		return x.Shard < y.Shard
 	}
 	return x.Req < y.Req
 }
@@ -164,11 +169,14 @@ func (a Attribution) Phase(name string) HistSnap {
 }
 
 // SlowRequest is one entry of the slowest-requests table: the request's
-// identity and its full phase decomposition.
+// identity and its full phase decomposition. Shard is the originating
+// shard of a merged report (internal/shard); single-run reports leave
+// it zero and omit it from JSON, so pre-shard documents are unchanged.
 type SlowRequest struct {
 	Req   int64   `json:"req"`
 	Pid   int     `json:"pid"`
 	Port  int     `json:"port"`
+	Shard int     `json:"shard,omitempty"`
 	Resp  float64 `json:"resp"`
 	Wait  float64 `json:"wait"`
 	Block float64 `json:"block"`

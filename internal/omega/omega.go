@@ -188,6 +188,7 @@ func New(n, perPort int, opts ...Option) *Omega {
 		o.outOcc[s] = make([]bool, n)
 	}
 	for _, opt := range opts {
+		//lint:ignore puredet functional options from the construction site; applied once while the network is built, before any simulation event runs
 		opt(o)
 	}
 	o.buildReach()

@@ -156,3 +156,18 @@ func DeriveSeed(base uint64, point, rep int) uint64 {
 	z = splitmix(z ^ (uint64(int64(rep)) + 0xbf58476d1ce4e5b9))
 	return z
 }
+
+// DeriveShardSeed derives an independent PRNG seed for the (base, shard,
+// rep) triple. It is the shard-axis counterpart of DeriveSeed, used by
+// internal/shard to give every sub-network of one sharded run its own
+// decorrelated stream: the chain is salted with a distinct constant so
+// shard streams never collide with any (point, rep) stream DeriveSeed
+// can produce from the same base. The rep axis separates purposes
+// within one shard (rep 0: simulation stream, rep 1: network build
+// stream), mirroring the DeriveSeed convention.
+func DeriveShardSeed(base uint64, shard, rep int) uint64 {
+	z := splitmix(base ^ 0x94d049bb133111eb)
+	z = splitmix(z ^ (uint64(int64(shard)) + 0x9e3779b97f4a7c15))
+	z = splitmix(z ^ (uint64(int64(rep)) + 0xbf58476d1ce4e5b9))
+	return z
+}

@@ -279,6 +279,45 @@ func TestDeriveSeedSensitivity(t *testing.T) {
 	}
 }
 
+// TestDeriveShardSeedDistinct: the shard axis must produce seeds that
+// collide neither with each other nor with any (point, rep) seed
+// DeriveSeed yields from the same base — the property that lets a
+// sharded run coexist with sweep replications of the same experiment.
+func TestDeriveShardSeedDistinct(t *testing.T) {
+	seen := make(map[uint64]string)
+	note := func(s uint64, who string) {
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("seed collision: %s vs %s", who, prev)
+		}
+		seen[s] = who
+	}
+	for _, base := range []uint64{0, 1, 0xdeadbeef} {
+		for i := 0; i < 200; i++ {
+			for rep := 0; rep < 4; rep++ {
+				note(DeriveSeed(base, i, rep), "DeriveSeed")
+				note(DeriveShardSeed(base, i, rep), "DeriveShardSeed")
+			}
+		}
+	}
+}
+
+// TestDeriveShardSeedSensitivity mirrors the DeriveSeed axis checks.
+func TestDeriveShardSeedSensitivity(t *testing.T) {
+	ref := DeriveShardSeed(7, 3, 2)
+	if DeriveShardSeed(8, 3, 2) == ref {
+		t.Error("seed insensitive to base")
+	}
+	if DeriveShardSeed(7, 4, 2) == ref {
+		t.Error("seed insensitive to shard")
+	}
+	if DeriveShardSeed(7, 3, 3) == ref {
+		t.Error("seed insensitive to rep")
+	}
+	if DeriveShardSeed(7, 2, 3) == DeriveShardSeed(7, 3, 2) {
+		t.Error("shard and rep axes collapse")
+	}
+}
+
 // TestDerivedStreamsNonOverlapping draws 10⁶ values across several
 // derived xoshiro streams and checks that no 64-bit output appears in
 // two different streams — the collision smoke test for stream

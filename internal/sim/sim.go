@@ -93,6 +93,13 @@ type Config struct {
 	// the mean the paper reports.
 	CollectDelays bool
 
+	// ExportAccumulators, when set, attaches the run's raw statistical
+	// accumulators to Result.Accum so an orchestrator can combine
+	// per-shard runs exactly (internal/shard). The Result's derived
+	// fields (CIs, means) are not mergeable on their own — merging needs
+	// the underlying batch means and time-weighted windows.
+	ExportAccumulators bool
+
 	// Probe, when non-nil, receives every lifecycle event (arrivals,
 	// enqueues, grants, transmissions, releases, rejects) stamped with
 	// simulated time. A nil Probe is the fast path: every emission site
@@ -129,9 +136,26 @@ type Result struct {
 	SimTime         float64             // simulated duration (including warmup)
 	Delays          []float64           // raw post-warmup delay samples (Config.CollectDelays)
 
+	// Accum carries the run's raw accumulators when
+	// Config.ExportAccumulators is set; nil otherwise.
+	Accum *Accum
+
 	// sortedDelays caches the sorted copy of Delays built lazily by
 	// DelayQuantile, so repeated quantile queries sort once.
 	sortedDelays []float64
+}
+
+// Accum is the raw-accumulator export behind Config.ExportAccumulators:
+// the batch-means accumulators that produced the Delay/Response
+// intervals, and the closed (post-Finish) time-weighted windows behind
+// MeanQueue and Utilization. internal/shard folds these across shards
+// in canonical ascending order to build one merged Result.
+type Accum struct {
+	Delays    *stats.BatchMeans  // per-sample queueing delays
+	Responses *stats.BatchMeans  // per-task response times
+	QueueLen  stats.TimeWeighted // total queued tasks over the measurement window
+	BusyPorts stats.TimeWeighted // busy output ports over the measurement window
+	Ports     int                // net.Ports(), for the ports-weighted utilization merge
 }
 
 // DelayQuantile returns the q-quantile (0 ≤ q ≤ 1) of the collected
@@ -698,6 +722,17 @@ func Run(net core.Network, cfg Config) (res Result, err error) {
 	}
 	if ds, ok := net.(core.DetailSource); ok {
 		res.Details = ds.DetailCounters()
+	}
+	if cfg.ExportAccumulators {
+		// queueLen/busyTW windows are closed (Finish above), so the
+		// copies are stable snapshots ready for window stitching.
+		res.Accum = &Accum{
+			Delays:    delays,
+			Responses: responses,
+			QueueLen:  queueLen,
+			BusyPorts: busyTW,
+			Ports:     net.Ports(),
+		}
 	}
 	return res, nil
 }

@@ -127,7 +127,15 @@ func (tw *TimeWeighted) Set(t, v float64) {
 
 // Finish closes the observation window at time t without changing the
 // value, and returns the time average over the observed window.
+//
+// Finishing an accumulator that never observed a value is a no-op
+// returning 0: there is no window to close. (It used to call
+// Set(t, 0), silently marking the window started at t — so a later
+// Set accrued area from a time the variable was never observed.)
 func (tw *TimeWeighted) Finish(t float64) float64 {
+	if !tw.started {
+		return 0
+	}
 	tw.Set(t, tw.lastV)
 	return tw.Mean()
 }
@@ -148,6 +156,30 @@ func (tw *TimeWeighted) Duration() float64 { return tw.duration }
 func (tw *TimeWeighted) Reset() {
 	tw.area = 0
 	tw.duration = 0
+}
+
+// Merge stitches o's observed window onto the end of tw's: o's window
+// is shifted so it starts where tw's ends, giving a single accumulator
+// whose Mean is the duration-weighted average of the two windows and
+// whose Duration is the sum. It is meant for combining closed
+// (Finished) windows from independent shards — the merged accumulator
+// is positioned at the end of the stitched window (o's final value),
+// so later Sets continue from there. Merging an empty o is a no-op;
+// merging into an empty tw copies o. Like every floating-point merge
+// in this package the result depends on merge order, so callers
+// combining several shards must fold them in a canonical order.
+func (tw *TimeWeighted) Merge(o *TimeWeighted) {
+	if !o.started {
+		return
+	}
+	if !tw.started {
+		*tw = *o
+		return
+	}
+	tw.area += o.area
+	tw.duration += o.duration
+	tw.lastT += o.duration
+	tw.lastV = o.lastV
 }
 
 // CI is a symmetric confidence interval around a point estimate.
@@ -214,6 +246,37 @@ func (b *BatchMeans) Reserve(n int) {
 
 // Batches returns the number of completed batches.
 func (b *BatchMeans) Batches() int { return len(b.batches) }
+
+// BatchSize returns the configured batch size.
+func (b *BatchMeans) BatchSize() int64 { return b.batchSize }
+
+// Merge combines another accumulator into b: o's completed batches are
+// appended after b's, and the two in-progress partial batches are
+// pooled with Welford.Merge (flushed as a batch if the pooled count
+// reaches the batch size). Both accumulators must share the same batch
+// size, or Merge panics.
+//
+// Appending is exact when both accumulators sit on a batch boundary —
+// the invariant the shard orchestrator maintains by handing every
+// shard a whole-batch sample quota. With partial batches the pooling
+// is an approximation of stream concatenation (the partial samples are
+// summarized by their mean rather than replayed), which is fine for
+// the batch-means CI: batch means are exchangeable under the method's
+// independence assumption. Floating-point merging is order-sensitive,
+// so callers combining several shards must fold them in a canonical
+// (ascending-shard) order — that order is part of the determinism
+// contract, not a convenience.
+func (b *BatchMeans) Merge(o *BatchMeans) {
+	if b.batchSize != o.batchSize {
+		panic(fmt.Sprintf("stats: merging BatchMeans with batch sizes %d and %d", b.batchSize, o.batchSize))
+	}
+	b.batches = append(b.batches, o.batches...)
+	b.cur.Merge(&o.cur)
+	if b.cur.N() >= b.batchSize {
+		b.batches = append(b.batches, b.cur.Mean())
+		b.cur = Welford{}
+	}
+}
 
 // Interval returns a Student-t confidence interval at the given
 // confidence level (e.g. 0.95) using the completed batches. With fewer
@@ -315,7 +378,15 @@ func (h *Histogram) Add(x float64) {
 	case x >= h.hi:
 		h.over++
 	default:
-		h.buckets[int((x-h.lo)*h.widthInv)]++
+		// x < hi does not guarantee the scaled index stays below the
+		// bucket count: (x-lo)*widthInv rounds up for x just below hi
+		// (e.g. lo=0, hi=0.1, n=3, x=0.09999999999999999 → index 3).
+		// Clamp to the last bucket instead of indexing out of range.
+		i := int((x - h.lo) * h.widthInv)
+		if i >= len(h.buckets) {
+			i = len(h.buckets) - 1
+		}
+		h.buckets[i]++
 	}
 }
 
@@ -331,25 +402,61 @@ func (h *Histogram) Mean() float64 {
 	return h.sum / float64(h.total)
 }
 
-// Quantile returns an approximate q-quantile (0 ≤ q ≤ 1) by scanning the
-// buckets; under/overflow observations are attributed to the boundaries.
+// Quantile returns an approximate q-quantile by scanning the buckets;
+// under/overflow observations are attributed to the lo and hi
+// boundaries respectively. q must lie in [0, 1]; q=1 is the rank of the
+// largest observation, so a histogram whose mass sits entirely in the
+// underflow bucket returns lo for every q, and one whose mass sits
+// entirely in the overflow bucket returns hi for every q (previously
+// that case returned hi only by loop fallthrough, and Quantile(1.0)
+// skipped past every bucket regardless of where the mass was).
 func (h *Histogram) Quantile(q float64) float64 {
+	if q < 0 || q > 1 || math.IsNaN(q) {
+		panic(fmt.Sprintf("stats: quantile %g outside [0,1]", q))
+	}
 	if h.total == 0 {
 		return 0
 	}
+	// target is the zero-based rank of the quantile observation; clamp
+	// q=1 to the last rank so it selects the maximum, not one past it.
 	target := int64(q * float64(h.total))
+	if target >= h.total {
+		target = h.total - 1
+	}
 	c := h.under
-	if c > target {
+	if target < c {
 		return h.lo
 	}
 	width := (h.hi - h.lo) / float64(len(h.buckets))
 	for i, b := range h.buckets {
 		c += b
-		if c > target {
+		if target < c {
 			return h.lo + (float64(i)+0.5)*width
 		}
 	}
+	// The remaining mass is in the overflow bucket: attribute it to the
+	// upper boundary explicitly.
 	return h.hi
+}
+
+// Merge adds o's counts into h. Both histograms must share the same
+// bucket layout ([lo, hi) range and bucket count); Merge panics
+// otherwise. Counter addition is exact (integers) but the running sum is
+// floating-point, so callers that need byte-identical merged results
+// must fold shards in canonical ascending order — see internal/shard.
+func (h *Histogram) Merge(o *Histogram) {
+	//lint:ignore floatsafe exact layout-identity check: merging is only defined for bit-identical bounds, and NaN bounds must refuse to merge
+	if h.lo != o.lo || h.hi != o.hi || len(h.buckets) != len(o.buckets) {
+		panic(fmt.Sprintf("stats: merging histograms with layouts [%g,%g)/%d and [%g,%g)/%d",
+			h.lo, h.hi, len(h.buckets), o.lo, o.hi, len(o.buckets)))
+	}
+	for i, b := range o.buckets {
+		h.buckets[i] += b
+	}
+	h.under += o.under
+	h.over += o.over
+	h.total += o.total
+	h.sum += o.sum
 }
 
 // Bucket returns the count in bucket i.
